@@ -1,0 +1,51 @@
+"""Figure 2: the key result on one benchmark.
+
+The paper's Fig. 2 magnifies a single benchmark to show (a) Clapton's
+initial point reaching the lowest device-model energy and (b) Clapton's
+Clifford-noise-model estimate sitting closest to the device-model value
+(best modeling accuracy).  This bench regenerates both observations for the
+XXZ (J=0.50) chain on the toronto model and asserts their direction.
+"""
+
+from conftest import print_banner, run_once
+
+from repro.backends import FakeToronto
+from repro.core import VQEProblem, cafqa, clapton, evaluate_initial_point, ncafqa
+from repro.hamiltonians import ground_state_energy, xxz_model
+from repro.metrics import normalized_energy
+
+NUM_QUBITS = 6  # paper: 10; reduced for bench wall-time (see EXPERIMENTS.md)
+
+
+def test_fig2_key_result(benchmark, bench_config):
+    hamiltonian = xxz_model(NUM_QUBITS, 0.50)
+    problem = VQEProblem.from_backend(hamiltonian, FakeToronto())
+    e0 = ground_state_energy(hamiltonian)
+    e_mixed = hamiltonian.mixed_state_energy()
+
+    def experiment():
+        out = {}
+        for name, driver in [("cafqa", cafqa), ("ncafqa", ncafqa),
+                             ("clapton", clapton)]:
+            result = driver(problem, config=bench_config)
+            out[name] = evaluate_initial_point(result)
+        return out
+
+    evaluations = run_once(benchmark, experiment)
+
+    print_banner(f"Figure 2 | XXZ J=0.50, {NUM_QUBITS}q, toronto model | "
+                 f"E0={e0:.4f}")
+    print(f"{'method':<10} {'noise-free':>11} {'clifford':>10} {'device':>10} "
+          f"{'|model gap|':>12} {'norm(device)':>13}")
+    for name, ev in evaluations.items():
+        print(f"{name:<10} {ev.noiseless:>11.4f} {ev.clifford_model:>10.4f} "
+              f"{ev.device_model:>10.4f} {ev.model_gap():>12.4f} "
+              f"{normalized_energy(ev.device_model, e0, e_mixed):>13.3f}")
+
+    # paper claim (a): Clapton's device-model energy is the lowest
+    assert (evaluations["clapton"].device_model
+            <= min(evaluations["cafqa"].device_model,
+                   evaluations["ncafqa"].device_model) + 1e-6)
+    # paper claim (b): Clapton's Clifford model is the most faithful
+    assert (evaluations["clapton"].model_gap()
+            <= evaluations["cafqa"].model_gap() + 1e-6)

@@ -1,0 +1,56 @@
+"""MaxCut: Clapton beyond chemistry and spin physics.
+
+The paper notes Clapton applies to any VQA (Sec. 2.4); this example runs it
+on a weighted MaxCut instance.  Diagonal cost Hamiltonians are a best case:
+their ground states are computational-basis states, so a good Clifford
+transformation can map the optimal cut exactly onto |0...0> -- noiseless
+optimality plus maximal noise robustness at once.
+
+Run:  python examples/maxcut_optimization.py
+"""
+
+import numpy as np
+
+from repro import NoiseModel, VQEProblem, cafqa, clapton, evaluate_initial_point
+from repro.core import ClaptonLoss
+from repro.experiments import SMOKE_ENGINE
+from repro.hamiltonians import (
+    best_cut_bruteforce,
+    ground_state_energy,
+    maxcut_hamiltonian,
+    random_maxcut_instance,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    graph = random_maxcut_instance(6, 0.5, rng, weighted=True)
+    hamiltonian = maxcut_hamiltonian(graph)
+    best_cut = best_cut_bruteforce(graph)
+    e0 = ground_state_energy(hamiltonian)
+    print(f"random weighted MaxCut on 6 nodes, {graph.number_of_edges()} edges")
+    print(f"optimal cut weight (brute force) = {best_cut:.4f}; "
+          f"E0 = {e0:.4f} (= -cut)")
+
+    noise = NoiseModel.uniform(6, depol_1q=1e-3, depol_2q=1e-2,
+                               readout=0.03, t1=80e-6)
+    problem = VQEProblem.logical(hamiltonian, noise_model=noise)
+
+    base = cafqa(problem, config=SMOKE_ENGINE)
+    clap = clapton(problem, config=SMOKE_ENGINE)
+    ev_base = evaluate_initial_point(base)
+    ev_clap = evaluate_initial_point(clap)
+
+    print(f"\n{'method':<9} {'noise-free':>11} {'device':>9}")
+    print(f"{'cafqa':<9} {ev_base.noiseless:>11.4f} {ev_base.device_model:>9.4f}")
+    print(f"{'clapton':<9} {ev_clap.noiseless:>11.4f} {ev_clap.device_model:>9.4f}")
+
+    _, l0 = ClaptonLoss(problem).components(clap.genome)
+    print(f"\nClapton's transformed problem puts the optimal cut on |0...0>: "
+          f"L0 = {l0:.4f} vs E0 = {e0:.4f}")
+    approx = ev_clap.device_model / e0
+    print(f"device-model approximation ratio of the Clapton point: {approx:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The full experimental measurement pipeline, end to end.
+
+Shows the counts-based flow a real device requires -- qubit-wise-commuting
+measurement grouping, noisy basis rotations, bitstring sampling through the
+asymmetric readout confusion -- and how tensored readout mitigation and
+zero-noise extrapolation compose with a Clapton initialization.
+
+Run:  python examples/measurement_pipeline.py
+"""
+
+import numpy as np
+
+from repro import NoiseModel, VQEProblem, clapton, ground_state_energy, xxz_model
+from repro.experiments import SMOKE_ENGINE
+from repro.mitigation import zne_energy
+from repro.vqe import CountsEnergyEstimator, EnergyEstimator, num_measurement_bases
+
+
+def main() -> None:
+    hamiltonian = xxz_model(5, 1.0)
+    e0 = ground_state_energy(hamiltonian)
+    noise = NoiseModel(
+        num_qubits=5, depol_1q=8e-4, depol_2q_default=8e-3,
+        readout_p01=np.full(5, 0.015), readout_p10=np.full(5, 0.035),
+        t1=np.full(5, 90e-6))
+    problem = VQEProblem.logical(hamiltonian, noise_model=noise)
+    print(f"5-qubit XXZ (J=1.0), E0 = {e0:.4f}")
+    print(f"measurement bases needed per energy estimate: "
+          f"{num_measurement_bases(hamiltonian)} "
+          f"(for {hamiltonian.num_terms} Pauli terms)")
+
+    result = clapton(problem, config=SMOKE_ENGINE)
+    observable = result.initial_observable()
+    theta = result.initial_theta
+
+    exact = EnergyEstimator(problem, observable)
+    reference = exact.energy(theta)
+    print(f"\nexact noisy energy of the Clapton initial point: {reference:.4f}")
+
+    for shots in (512, 4096, 32768):
+        raw = CountsEnergyEstimator(problem, observable, shots=shots, seed=1)
+        mitigated = CountsEnergyEstimator(problem, observable, shots=shots,
+                                          seed=1, readout_mitigation=True)
+        print(f"shots={shots:>6}: sampled {raw.energy(theta):8.4f}   "
+              f"readout-mitigated {mitigated.energy(theta):8.4f}")
+
+    zne = zne_energy(result.initial_circuit(), observable, noise,
+                     scales=(1, 3, 5), method="exponential")
+    print(f"\nzero-noise extrapolation on top: {zne.unmitigated:.4f} -> "
+          f"{zne.mitigated:.4f} (scale curve: "
+          + ", ".join(f"{v:.4f}" for v in zne.values) + ")")
+    from repro.stabilizer import clifford_state_expectation
+
+    print(f"noiseless stabilizer evaluation: "
+          f"{clifford_state_expectation(result.initial_circuit(), observable):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: a full reproduction of Clapton (ASPLOS 2024).
+
+Clifford-Assisted Problem Transformation for Error Mitigation in Variational
+Quantum Algorithms -- built from scratch on this package's own stabilizer
+engine, density-matrix simulator, device models, transpiler, optimizers, and
+quantum-chemistry pipeline.
+
+Quickstart::
+
+    from repro import (FakeToronto, VQEProblem, clapton, cafqa,
+                       evaluate_initial_point, xxz_model)
+
+    hamiltonian = xxz_model(10, 0.5)
+    problem = VQEProblem.from_backend(hamiltonian, FakeToronto())
+    result = clapton(problem)
+    print(evaluate_initial_point(result).device_model)
+"""
+
+from .paulis import PauliString, PauliSum, PauliTable
+from .circuits import (
+    Circuit,
+    Parameter,
+    clapton_transformation_circuit,
+    hardware_efficient_ansatz,
+)
+from .stabilizer import CliffordTableau, StabilizerSimulator, clifford_state_expectation
+from .densesim import DensityMatrixSimulator, noiseless_energy, noisy_energy, simulate_statevector
+from .noise import CliffordNoiseModel, NoiseModel
+from .backends import Backend, FakeHanoi, FakeLine, FakeMumbai, FakeNairobi, FakeToronto
+from .transpiler import TranspileResult, transpile
+from .optim import EngineConfig, GAConfig, SPSAConfig, minimize_spsa, multi_ga_minimize
+from .core import (
+    InitializationResult,
+    VQEProblem,
+    cafqa,
+    clapton,
+    evaluate_initial_point,
+    ncafqa,
+    transform_hamiltonian,
+)
+from .vqe import EnergyEstimator, VQETrace, run_vqe
+from .hamiltonians import (
+    ground_state_energy,
+    ising_model,
+    paper_benchmarks,
+    xxz_model,
+)
+from .metrics import geometric_mean, normalized_energy, relative_improvement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Backend", "Circuit", "CliffordNoiseModel", "CliffordTableau",
+    "DensityMatrixSimulator", "EnergyEstimator", "EngineConfig",
+    "FakeHanoi", "FakeLine", "FakeMumbai", "FakeNairobi", "FakeToronto",
+    "GAConfig", "InitializationResult", "NoiseModel", "Parameter",
+    "PauliString", "PauliSum", "PauliTable", "SPSAConfig",
+    "StabilizerSimulator", "TranspileResult", "VQEProblem", "VQETrace",
+    "cafqa", "clapton", "clapton_transformation_circuit",
+    "clifford_state_expectation", "evaluate_initial_point",
+    "geometric_mean", "ground_state_energy", "hardware_efficient_ansatz",
+    "ising_model", "minimize_spsa", "multi_ga_minimize", "ncafqa",
+    "noiseless_energy", "noisy_energy", "normalized_energy",
+    "paper_benchmarks", "relative_improvement", "run_vqe",
+    "simulate_statevector", "transform_hamiltonian", "transpile",
+    "xxz_model",
+]

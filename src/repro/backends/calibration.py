@@ -1,0 +1,121 @@
+"""Synthetic device calibration data.
+
+The paper reads calibration snapshots (T1/T2, gate and readout error rates)
+from IBM fake backends and the live hanoi device.  Those snapshots are not
+redistributable data files, so this module *generates* calibrations from
+seeded random distributions whose centers match the public typical values
+for each device generation.  The substitution is documented in DESIGN.md:
+Clapton consumes only (topology, rates), so any realistic, fixed rate set
+exercises the identical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Distribution parameters for one device generation.
+
+    Times in seconds, errors as probabilities.  Log-normal spreads mimic the
+    long right tail of real calibration data (a few bad qubits/pairs).
+    """
+
+    t1_mean: float
+    t2_mean: float
+    error_1q_median: float
+    error_2q_median: float
+    readout_median: float
+    readout_asymmetry: float = 0.35   # p01 vs p10 relative skew
+    spread: float = 0.35              # sigma of the log-normal factors
+    gate_time_1q: float = 35e-9
+    gate_time_2q: float = 300e-9
+
+
+#: Device-class presets (centres near publicly reported typical values).
+PROFILES: dict[str, DeviceProfile] = {
+    "nairobi": DeviceProfile(t1_mean=110e-6, t2_mean=80e-6,
+                             error_1q_median=3.5e-4, error_2q_median=1.1e-2,
+                             readout_median=2.8e-2),
+    "toronto": DeviceProfile(t1_mean=95e-6, t2_mean=70e-6,
+                             error_1q_median=4.0e-4, error_2q_median=1.3e-2,
+                             readout_median=3.5e-2),
+    "mumbai": DeviceProfile(t1_mean=120e-6, t2_mean=90e-6,
+                            error_1q_median=3.0e-4, error_2q_median=9.0e-3,
+                            readout_median=2.2e-2),
+    "hanoi": DeviceProfile(t1_mean=130e-6, t2_mean=100e-6,
+                           error_1q_median=2.5e-4, error_2q_median=7.0e-3,
+                           readout_median=1.6e-2),
+}
+
+
+@dataclass
+class CalibrationData:
+    """One snapshot of per-qubit / per-pair device parameters."""
+
+    t1: np.ndarray
+    t2: np.ndarray
+    error_1q: np.ndarray
+    error_2q: dict[tuple[int, int], float]
+    readout_p01: np.ndarray
+    readout_p10: np.ndarray
+    gate_time_1q: float
+    gate_time_2q: float
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.t1)
+
+
+def generate_calibration(edges: list[tuple[int, int]], num_qubits: int,
+                         profile: DeviceProfile, seed: int) -> CalibrationData:
+    """Draw a deterministic calibration snapshot for a topology."""
+    rng = np.random.default_rng(seed)
+    lognorm = lambda median, size: median * rng.lognormal(0.0, profile.spread, size)
+    t1 = np.clip(profile.t1_mean * rng.lognormal(0.0, 0.25, num_qubits),
+                 20e-6, None)
+    t2 = np.minimum(np.clip(profile.t2_mean * rng.lognormal(0.0, 0.3, num_qubits),
+                            10e-6, None), 2 * t1)
+    error_1q = np.clip(lognorm(profile.error_1q_median, num_qubits), 0, 0.05)
+    error_2q = {tuple(sorted(e)): float(np.clip(
+        lognorm(profile.error_2q_median, None), 1e-4, 0.15)) for e in edges}
+    readout = np.clip(lognorm(profile.readout_median, num_qubits), 1e-4, 0.3)
+    # real devices misreport |1> as 0 more often than the reverse (decay
+    # during readout), hence the asymmetric split around the median
+    skew = profile.readout_asymmetry
+    p01 = readout * (1.0 - skew)
+    p10 = readout * (1.0 + skew)
+    return CalibrationData(
+        t1=t1, t2=t2, error_1q=error_1q, error_2q=error_2q,
+        readout_p01=p01, readout_p10=p10,
+        gate_time_1q=profile.gate_time_1q, gate_time_2q=profile.gate_time_2q)
+
+
+def perturb_calibration(calibration: CalibrationData, seed: int,
+                        jitter: float = 0.25) -> CalibrationData:
+    """A 'same device, different day' recalibration for hardware twins.
+
+    Every rate/time is multiplied by an independent log-normal factor with
+    sigma ``jitter`` -- the calibration drift that makes optimization models
+    diverge from what a job actually experiences on the queue.
+    """
+    rng = np.random.default_rng(seed)
+    factor = lambda size=None: rng.lognormal(0.0, jitter, size)
+    t1 = np.clip(calibration.t1 * factor(calibration.num_qubits), 10e-6, None)
+    t2 = np.minimum(calibration.t2 * factor(calibration.num_qubits), 2 * t1)
+    return CalibrationData(
+        t1=t1,
+        t2=t2,
+        error_1q=np.clip(calibration.error_1q * factor(calibration.num_qubits),
+                         0, 0.08),
+        error_2q={k: float(np.clip(v * factor(), 1e-4, 0.2))
+                  for k, v in calibration.error_2q.items()},
+        readout_p01=np.clip(calibration.readout_p01
+                            * factor(calibration.num_qubits), 1e-4, 0.4),
+        readout_p10=np.clip(calibration.readout_p10
+                            * factor(calibration.num_qubits), 1e-4, 0.4),
+        gate_time_1q=calibration.gate_time_1q,
+        gate_time_2q=calibration.gate_time_2q)

@@ -1,0 +1,66 @@
+"""The four named backends of the paper's evaluation (Sec. 5.2.2).
+
+``FakeNairobi`` (7 qubits), ``FakeToronto`` and ``FakeMumbai`` (27 qubits)
+play the role of Qiskit's fake-backend noise-model snapshots; ``FakeHanoi``
+is the optimization-side model of the cloud device, whose "real hardware" is
+obtained via :meth:`Backend.hardware_twin`.
+
+Seeds are fixed so every run of the reproduction sees identical devices.
+"""
+
+from __future__ import annotations
+
+from .backend import Backend
+from .calibration import PROFILES, generate_calibration
+from .topologies import EDGES_27Q_FALCON, EDGES_7Q_FALCON, coupling_graph, line_topology
+
+_SEEDS = {"nairobi": 701, "toronto": 2701, "mumbai": 2702, "hanoi": 2703}
+
+
+def _build(name: str, edges, num_qubits: int) -> Backend:
+    calibration = generate_calibration(edges, num_qubits, PROFILES[name],
+                                       seed=_SEEDS[name])
+    return Backend(name=name, graph=coupling_graph(edges, num_qubits),
+                   calibration=calibration)
+
+
+def FakeNairobi() -> Backend:
+    """7-qubit Falcon; the paper runs only the 7-qubit physics models here."""
+    return _build("nairobi", EDGES_7Q_FALCON, 7)
+
+
+def FakeToronto() -> Backend:
+    """27-qubit Falcon r4; the noisiest of the three large devices."""
+    return _build("toronto", EDGES_27Q_FALCON, 27)
+
+
+def FakeMumbai() -> Backend:
+    """27-qubit Falcon r5.1."""
+    return _build("mumbai", EDGES_27Q_FALCON, 27)
+
+
+def FakeHanoi() -> Backend:
+    """27-qubit Falcon r5.11; pair with ``.hardware_twin()`` for experiments."""
+    return _build("hanoi", EDGES_27Q_FALCON, 27)
+
+
+def FakeLine(num_qubits: int, profile_name: str = "toronto",
+             seed: int = 7) -> Backend:
+    """A chain-topology device with a named profile's rate distributions.
+
+    Used by the Fig. 7/8 isolated-channel sweeps (which override the rates)
+    and the Fig. 9 scaling study (where topology is irrelevant).
+    """
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    calibration = generate_calibration(edges, num_qubits,
+                                       PROFILES[profile_name], seed=seed)
+    return Backend(name=f"line-{num_qubits}", graph=line_topology(num_qubits),
+                   calibration=calibration)
+
+
+ALL_BACKENDS = {
+    "nairobi": FakeNairobi,
+    "toronto": FakeToronto,
+    "mumbai": FakeMumbai,
+    "hanoi": FakeHanoi,
+}

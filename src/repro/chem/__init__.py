@@ -1,0 +1,25 @@
+"""Mini quantum chemistry: integrals, RHF, mappings (PySCF/Nature substitute)."""
+
+from .basis import ANGSTROM_TO_BOHR, Atom, BasisFunction, build_basis, nuclear_repulsion
+from .scf import SCFResult, run_rhf
+from .fermion import FermionHamiltonian, PauliPolynomial, jordan_wigner_ladder
+from .mappings import (
+    jw_to_parity,
+    parity_cascade_circuit,
+    parity_two_qubit_reduction,
+    taper_qubits,
+)
+from .active_space import ActiveSpace, active_space_tensors, spin_orbital_hamiltonian
+from .molecules import GEOMETRY_BUILDERS, hydrogen_chain_geometry, lithium_hydride_geometry, water_geometry
+from .driver import ACTIVE_SPACES, MolecularProblem, molecular_hamiltonian
+
+__all__ = [
+    "ACTIVE_SPACES", "ANGSTROM_TO_BOHR", "ActiveSpace", "Atom",
+    "BasisFunction", "FermionHamiltonian", "GEOMETRY_BUILDERS",
+    "MolecularProblem", "PauliPolynomial", "SCFResult",
+    "active_space_tensors", "build_basis", "hydrogen_chain_geometry",
+    "jordan_wigner_ladder", "jw_to_parity", "lithium_hydride_geometry",
+    "molecular_hamiltonian", "nuclear_repulsion", "parity_cascade_circuit",
+    "parity_two_qubit_reduction", "run_rhf", "spin_orbital_hamiltonian",
+    "taper_qubits", "water_geometry",
+]

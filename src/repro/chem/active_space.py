@@ -1,0 +1,114 @@
+"""Active-space reduction and the spin-orbital Hamiltonian tensors.
+
+The paper limits every molecule to six spatial orbitals (ten qubits after
+the parity reduction) by "restricting the active space" (Sec. 5.1.2): the
+lowest core orbitals are frozen at double occupancy and their mean-field
+interaction is folded into an effective one-body term plus a scalar core
+energy; orbitals above the active window are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fermion import FermionHamiltonian
+from .scf import SCFResult
+
+
+@dataclass
+class ActiveSpace:
+    """An orbital window.
+
+    Attributes:
+        num_frozen: Doubly-occupied core orbitals folded away.
+        num_active: Spatial orbitals kept in the quantum problem.
+        num_active_electrons: Electrons left for the active window.
+    """
+
+    num_frozen: int
+    num_active: int
+    num_active_electrons: int
+
+    @property
+    def num_alpha(self) -> int:
+        if self.num_active_electrons % 2:
+            raise ValueError("only closed-shell active spaces supported")
+        return self.num_active_electrons // 2
+
+    num_beta = num_alpha
+
+
+def mo_integrals(scf: SCFResult) -> tuple[np.ndarray, np.ndarray]:
+    """Transform AO integrals to the MO basis (chemist ERI)."""
+    c = scf.mo_coeff
+    hcore_mo = c.T @ scf.hcore @ c
+    eri_mo = np.einsum("pi,qj,pqrs,rk,sl->ijkl", c, c, scf.eri, c, c,
+                       optimize=True)
+    return hcore_mo, eri_mo
+
+
+def active_space_tensors(scf: SCFResult, space: ActiveSpace
+                         ) -> tuple[float, np.ndarray, np.ndarray]:
+    """Frozen-core energy and active-window MO tensors.
+
+    Returns:
+        ``(core_energy, h_eff, eri_active)`` with chemist-notation ERI; the
+        core energy includes nuclear repulsion and the frozen orbitals'
+        mean-field energy.
+    """
+    hcore_mo, eri_mo = mo_integrals(scf)
+    n_mo = hcore_mo.shape[0]
+    frozen = list(range(space.num_frozen))
+    active = list(range(space.num_frozen, space.num_frozen + space.num_active))
+    if space.num_frozen + space.num_active > n_mo:
+        raise ValueError("active window exceeds the orbital count")
+    expected = scf.num_electrons - 2 * space.num_frozen
+    if space.num_active_electrons != expected:
+        raise ValueError(
+            f"active electrons should be {expected}, got "
+            f"{space.num_active_electrons}")
+
+    core_energy = scf.nuclear_energy
+    for i in frozen:
+        core_energy += 2.0 * hcore_mo[i, i]
+        for j in frozen:
+            core_energy += 2.0 * eri_mo[i, i, j, j] - eri_mo[i, j, j, i]
+
+    h_eff = hcore_mo[np.ix_(active, active)].copy()
+    for a_idx, p in enumerate(active):
+        for b_idx, q in enumerate(active):
+            for i in frozen:
+                h_eff[a_idx, b_idx] += (2.0 * eri_mo[p, q, i, i]
+                                        - eri_mo[p, i, i, q])
+    eri_active = eri_mo[np.ix_(active, active, active, active)].copy()
+    return core_energy, h_eff, eri_active
+
+
+def spin_orbital_hamiltonian(core_energy: float, h_mo: np.ndarray,
+                             eri_mo: np.ndarray) -> FermionHamiltonian:
+    """Expand spatial MO tensors into spin-blocked spin-orbital tensors.
+
+    Spin-orbital ordering is blocked: ``alpha_0..alpha_{m-1},
+    beta_0..beta_{m-1}`` (the ordering the parity two-qubit reduction
+    assumes).  Two-body coefficients are the physicist-notation
+    ``<PQ|RS> = (pr|qs) * delta(sP,sR) * delta(sQ,sS)``.
+    """
+    m = h_mo.shape[0]
+    n = 2 * m
+    one_body = np.zeros((n, n))
+    one_body[:m, :m] = h_mo
+    one_body[m:, m:] = h_mo
+    two_body = np.zeros((n, n, n, n))
+    spatial = np.arange(m)
+    for spin_p in (0, 1):
+        for spin_q in (0, 1):
+            p_off = spin_p * m
+            q_off = spin_q * m
+            # <PQ|RS>: spin of P must match R, spin of Q must match S
+            block = np.einsum("prqs->pqrs", eri_mo)
+            two_body[p_off:p_off + m, q_off:q_off + m,
+                     p_off:p_off + m, q_off:q_off + m] = block
+    return FermionHamiltonian(core_energy=core_energy, one_body=one_body,
+                              two_body=two_body)

@@ -1,0 +1,154 @@
+"""STO-3G basis set data and contracted Gaussian basis functions.
+
+The paper's chemistry Hamiltonians are computed in the STO-3G basis
+(Sec. 5.1.2) by PySCF; this module carries the published STO-3G exponents
+and contraction coefficients for the three elements the benchmarks need
+(H, Li, O) and turns atoms into lists of contracted Cartesian Gaussians.
+
+Primitive normalization follows the standard closed form for Cartesian
+Gaussians; contracted functions are renormalized numerically so their
+self-overlap is exactly 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: exponents and contraction coefficients, per element and shell.
+#: ``sp`` shells share exponents between the s and p contractions
+#: (the standard STO-3G Pople scheme).
+STO3G = {
+    "H": [
+        ("s", [3.425250914, 0.6239137298, 0.1688554040],
+              [0.1543289673, 0.5353281423, 0.4446345422]),
+    ],
+    "Li": [
+        ("s", [16.11957475, 2.936200663, 0.7946504870],
+              [0.1543289673, 0.5353281423, 0.4446345422]),
+        ("sp", [0.6362897469, 0.1478600533, 0.0480886784],
+               [-0.09996722919, 0.3995128261, 0.7001154689],
+               [0.1559162750, 0.6076837186, 0.3919573931]),
+    ],
+    "O": [
+        ("s", [130.7093200, 23.80886050, 6.443608313],
+              [0.1543289673, 0.5353281423, 0.4446345422]),
+        ("sp", [5.033151319, 1.169596125, 0.3803889600],
+               [-0.09996722919, 0.3995128261, 0.7001154689],
+               [0.1559162750, 0.6076837186, 0.3919573931]),
+    ],
+}
+
+ATOMIC_NUMBERS = {"H": 1, "Li": 3, "O": 8}
+
+#: 1 angstrom in bohr.
+ANGSTROM_TO_BOHR = 1.8897259886
+
+
+@dataclass
+class BasisFunction:
+    """One contracted Cartesian Gaussian.
+
+    Attributes:
+        center: Nuclear position (bohr).
+        lmn: Cartesian angular momentum triple, e.g. ``(1, 0, 0)`` for p_x.
+        exps: Primitive exponents.
+        coefs: Contraction coefficients (for normalized primitives).
+        norms: Per-primitive normalization constants (filled in __post_init__).
+    """
+
+    center: np.ndarray
+    lmn: tuple[int, int, int]
+    exps: np.ndarray
+    coefs: np.ndarray
+    norms: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.center = np.asarray(self.center, dtype=float)
+        self.exps = np.asarray(self.exps, dtype=float)
+        self.coefs = np.asarray(self.coefs, dtype=float)
+        self.norms = np.array([_primitive_norm(a, self.lmn) for a in self.exps])
+        self._normalize_contraction()
+
+    def _normalize_contraction(self) -> None:
+        """Scale coefficients so the contracted self-overlap equals 1."""
+        from .integrals import overlap_primitive
+
+        total = 0.0
+        for ca, na, aa in zip(self.coefs, self.norms, self.exps):
+            for cb, nb, ab in zip(self.coefs, self.norms, self.exps):
+                total += ca * cb * na * nb * overlap_primitive(
+                    aa, self.lmn, self.center, ab, self.lmn, self.center)
+        self.coefs = self.coefs / math.sqrt(total)
+
+    @property
+    def angular_momentum(self) -> int:
+        return sum(self.lmn)
+
+
+def _primitive_norm(alpha: float, lmn: tuple[int, int, int]) -> float:
+    """Normalization of a primitive Cartesian Gaussian x^l y^m z^n e^{-a r^2}."""
+    l, m, n = lmn
+    numerator = (2 * alpha / math.pi) ** 1.5 * (4 * alpha) ** (l + m + n)
+    denominator = (_double_factorial(2 * l - 1) * _double_factorial(2 * m - 1)
+                   * _double_factorial(2 * n - 1))
+    return math.sqrt(numerator / denominator)
+
+
+def _double_factorial(k: int) -> int:
+    if k <= 0:
+        return 1
+    out = 1
+    while k > 0:
+        out *= k
+        k -= 2
+    return out
+
+
+@dataclass
+class Atom:
+    symbol: str
+    position: np.ndarray  # bohr
+
+    @property
+    def charge(self) -> int:
+        return ATOMIC_NUMBERS[self.symbol]
+
+
+def build_basis(atoms: list[Atom]) -> list[BasisFunction]:
+    """Expand a geometry into its STO-3G contracted basis functions.
+
+    AO ordering: per atom in input order, shells in data-file order, with
+    ``sp`` shells contributing s, p_x, p_y, p_z (in that order).
+    """
+    functions: list[BasisFunction] = []
+    for atom in atoms:
+        if atom.symbol not in STO3G:
+            raise ValueError(f"no STO-3G data for element {atom.symbol!r}")
+        for shell in STO3G[atom.symbol]:
+            kind, exps = shell[0], shell[1]
+            if kind == "s":
+                functions.append(BasisFunction(atom.position, (0, 0, 0),
+                                               exps, shell[2]))
+            elif kind == "sp":
+                s_coefs, p_coefs = shell[2], shell[3]
+                functions.append(BasisFunction(atom.position, (0, 0, 0),
+                                               exps, s_coefs))
+                for lmn in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+                    functions.append(BasisFunction(atom.position, lmn,
+                                                   exps, p_coefs))
+            else:
+                raise ValueError(f"unsupported shell type {kind!r}")
+    return functions
+
+
+def nuclear_repulsion(atoms: list[Atom]) -> float:
+    """Classical Coulomb repulsion between the nuclei (hartree)."""
+    energy = 0.0
+    for i, a in enumerate(atoms):
+        for b in atoms[i + 1:]:
+            distance = float(np.linalg.norm(a.position - b.position))
+            energy += a.charge * b.charge / distance
+    return energy

@@ -1,0 +1,45 @@
+"""Geometries of the paper's molecular benchmarks (Sec. 5.1.2).
+
+Each molecule is parameterized by one bond length ``l`` (angstrom), matching
+how the paper sweeps geometry: a compact configuration where classical
+methods are accurate and a stretched one where they struggle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import ANGSTROM_TO_BOHR, Atom
+
+#: H-O-H angle of the water benchmark (degrees).
+WATER_ANGLE_DEG = 104.45
+
+
+def water_geometry(bond_length: float) -> list[Atom]:
+    """H2O: both O-H bonds at ``bond_length`` angstrom, fixed angle."""
+    l = bond_length * ANGSTROM_TO_BOHR
+    half = np.deg2rad(WATER_ANGLE_DEG) / 2.0
+    return [
+        Atom("O", np.zeros(3)),
+        Atom("H", np.array([l * np.sin(half), l * np.cos(half), 0.0])),
+        Atom("H", np.array([-l * np.sin(half), l * np.cos(half), 0.0])),
+    ]
+
+
+def hydrogen_chain_geometry(num_atoms: int, bond_length: float) -> list[Atom]:
+    """Linear H_n chain with uniform spacing ``bond_length`` angstrom."""
+    l = bond_length * ANGSTROM_TO_BOHR
+    return [Atom("H", np.array([0.0, 0.0, i * l])) for i in range(num_atoms)]
+
+
+def lithium_hydride_geometry(bond_length: float) -> list[Atom]:
+    """LiH diatomic at ``bond_length`` angstrom."""
+    l = bond_length * ANGSTROM_TO_BOHR
+    return [Atom("Li", np.zeros(3)), Atom("H", np.array([0.0, 0.0, l]))]
+
+
+GEOMETRY_BUILDERS = {
+    "H2O": water_geometry,
+    "H6": lambda l: hydrogen_chain_geometry(6, l),
+    "LiH": lithium_hydride_geometry,
+}

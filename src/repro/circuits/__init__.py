@@ -1,0 +1,23 @@
+"""Circuit IR, gate library, and the paper's ansatz families."""
+
+from .gates import CLIFFORD_ANGLES, GATES, GateSpec, get_gate
+from .circuit import Circuit, Instruction, Parameter, embed_unitary
+from .ansatz import (
+    drop_identity_rotations,
+    ansatz_skeleton,
+    cafqa_angles,
+    clapton_transformation_circuit,
+    entanglement_pairs,
+    hardware_efficient_ansatz,
+    layered_hardware_efficient_ansatz,
+    num_transformation_parameters,
+)
+
+__all__ = [
+    "CLIFFORD_ANGLES", "GATES", "GateSpec", "get_gate",
+    "Circuit", "Instruction", "Parameter", "embed_unitary",
+    "ansatz_skeleton", "cafqa_angles", "drop_identity_rotations", "clapton_transformation_circuit",
+    "entanglement_pairs", "hardware_efficient_ansatz",
+    "layered_hardware_efficient_ansatz",
+    "num_transformation_parameters",
+]

@@ -1,0 +1,259 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of gate instructions on a fixed qubit
+register.  Parameters may be concrete floats or :class:`Parameter`
+placeholders (an index into a parameter vector), so the same object serves as
+the VQE ansatz template ``A(theta)`` and its bound instances.
+
+Bit/qubit-order convention used across the whole package: qubit 0 is the
+*most significant* bit of a computational-basis index (so labels like
+``"XIZ"`` read left to right as qubits 0, 1, 2, and ``kron`` composition
+follows qubit order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .gates import GateSpec, get_gate
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Symbolic placeholder: index ``index`` of the ansatz parameter vector."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application.
+
+    Attributes:
+        name: Gate name (key into :data:`repro.circuits.gates.GATES`).
+        qubits: Target qubit indices, control first for controlled gates.
+        params: Rotation parameters; floats or :class:`Parameter` objects.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple = ()
+
+    @property
+    def spec(self) -> GateSpec:
+        return get_gate(self.name)
+
+    @property
+    def is_bound(self) -> bool:
+        return not any(isinstance(p, Parameter) for p in self.params)
+
+    def matrix(self) -> np.ndarray:
+        if not self.is_bound:
+            raise ValueError(f"instruction {self} has unbound parameters")
+        return self.spec.matrix(tuple(float(p) for p in self.params))
+
+
+_INVERSE_NAME = {"s": "sdg", "sdg": "s", "sx": "sxdg", "sxdg": "sx"}
+
+
+class Circuit:
+    """An ordered sequence of instructions on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def append(self, name: str, qubits: Sequence[int], params: Sequence = ()) -> "Circuit":
+        spec = get_gate(name)
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != spec.num_qubits:
+            raise ValueError(f"gate {name} acts on {spec.num_qubits} qubit(s)")
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("duplicate qubit in instruction")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range for {self.num_qubits}-qubit circuit")
+        params = tuple(params)
+        if len(params) != spec.num_params:
+            raise ValueError(f"gate {name} takes {spec.num_params} parameter(s)")
+        self.instructions.append(Instruction(name, qubits, params))
+        return self
+
+    # Convenience wrappers keep call sites close to familiar Qiskit style.
+    def i(self, q):
+        return self.append("i", [q])
+
+    def x(self, q):
+        return self.append("x", [q])
+
+    def y(self, q):
+        return self.append("y", [q])
+
+    def z(self, q):
+        return self.append("z", [q])
+
+    def h(self, q):
+        return self.append("h", [q])
+
+    def s(self, q):
+        return self.append("s", [q])
+
+    def sdg(self, q):
+        return self.append("sdg", [q])
+
+    def sx(self, q):
+        return self.append("sx", [q])
+
+    def sxdg(self, q):
+        return self.append("sxdg", [q])
+
+    def rx(self, theta, q):
+        return self.append("rx", [q], [theta])
+
+    def ry(self, theta, q):
+        return self.append("ry", [q], [theta])
+
+    def rz(self, theta, q):
+        return self.append("rz", [q], [theta])
+
+    def cx(self, control, target):
+        return self.append("cx", [control, target])
+
+    def cz(self, a, b):
+        return self.append("cz", [a, b])
+
+    def swap(self, a, b):
+        return self.append("swap", [a, b])
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """New circuit running ``self`` then ``other`` (same register size)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("register size mismatch")
+        out = self.copy()
+        out.instructions.extend(other.instructions)
+        return out
+
+    def copy(self) -> "Circuit":
+        out = Circuit(self.num_qubits)
+        out.instructions = list(self.instructions)
+        return out
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        indices = {p.index for inst in self.instructions
+                   for p in inst.params if isinstance(p, Parameter)}
+        return (max(indices) + 1) if indices else 0
+
+    @property
+    def is_bound(self) -> bool:
+        return all(inst.is_bound for inst in self.instructions)
+
+    def bind(self, values: Sequence[float]) -> "Circuit":
+        """Substitute every :class:`Parameter` with ``values[p.index]``."""
+        values = np.asarray(values, dtype=float)
+        if len(values) < self.num_parameters:
+            raise ValueError(
+                f"need {self.num_parameters} parameter values, got {len(values)}")
+        out = Circuit(self.num_qubits)
+        for inst in self.instructions:
+            params = tuple(float(values[p.index]) if isinstance(p, Parameter) else p
+                           for p in inst.params)
+            out.instructions.append(replace(inst, params=params))
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def count_ops(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for inst in self.instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for inst in self.instructions if len(inst.qubits) == 2)
+
+    def depth(self) -> int:
+        """Circuit depth counting each instruction as one time step."""
+        frontier = [0] * self.num_qubits
+        for inst in self.instructions:
+            level = max(frontier[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def is_clifford(self) -> bool:
+        """True when every (bound) instruction is a Clifford operation."""
+        for inst in self.instructions:
+            if not inst.is_bound:
+                return False
+            if not inst.spec.is_clifford(tuple(float(p) for p in inst.params)):
+                return False
+        return True
+
+    def inverse(self) -> "Circuit":
+        """The exact inverse circuit (reversed order, inverted gates)."""
+        out = Circuit(self.num_qubits)
+        for inst in reversed(self.instructions):
+            if inst.spec.num_params:
+                params = tuple(-p if not isinstance(p, Parameter) else p
+                               for p in inst.params)
+                if any(isinstance(p, Parameter) for p in params):
+                    raise ValueError("cannot invert an unbound circuit")
+                out.instructions.append(replace(inst, params=params))
+            else:
+                name = _INVERSE_NAME.get(inst.name, inst.name)
+                out.instructions.append(replace(inst, name=name))
+        return out
+
+    # ------------------------------------------------------------------
+    # Dense semantics (tests and small-n evaluation)
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` unitary of the whole circuit (small n only)."""
+        dim = 2 ** self.num_qubits
+        out = np.eye(dim, dtype=complex)
+        for inst in self.instructions:
+            out = embed_unitary(inst.matrix(), inst.qubits, self.num_qubits) @ out
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Circuit(num_qubits={self.num_qubits}, "
+                f"instructions={len(self.instructions)})")
+
+
+def embed_unitary(gate: np.ndarray, qubits: Sequence[int], num_qubits: int
+                  ) -> np.ndarray:
+    """Embed a k-qubit gate matrix on ``qubits`` into an n-qubit unitary.
+
+    Follows the package convention that qubit 0 is the most significant bit.
+    """
+    k = len(qubits)
+    if gate.shape != (2 ** k, 2 ** k):
+        raise ValueError("gate matrix shape does not match qubit count")
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    order = list(qubits) + rest
+    full = np.kron(gate, np.eye(2 ** (num_qubits - k), dtype=complex))
+    # ``full`` acts with qubit ordering ``order``; permute tensor axes back to
+    # the standard ordering 0..n-1 on both row and column indices.
+    tensor = full.reshape((2,) * (2 * num_qubits))
+    inverse = np.argsort(order)
+    axes = list(inverse) + [num_qubits + a for a in inverse]
+    return tensor.transpose(axes).reshape(2 ** num_qubits, 2 ** num_qubits)

@@ -1,0 +1,127 @@
+"""Gate library: names, unitaries, and Clifford metadata.
+
+Only the gates the Clapton stack needs are defined: the Pauli gates, the
+single-qubit Cliffords used to build tableaus, parameterized rotations
+``RX/RY/RZ`` (Clifford at multiples of pi/2 -- the discrete angles CAFQA and
+Clapton search over), and the two-qubit gates ``CX``, ``CZ``, ``SWAP``.
+
+Every gate carries a dense unitary so that simulators and tests never need a
+second source of truth: Clifford tableaus are *derived* from these matrices
+(:func:`repro.stabilizer.tableau.tableau_from_unitary`) rather than written
+down by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array([[np.exp(-0.5j * theta), 0], [0, np.exp(0.5j * theta)]],
+                    dtype=complex)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: Canonical lower-case name, e.g. ``"cx"``.
+        num_qubits: Arity (1 or 2).
+        num_params: Number of rotation parameters (0 or 1).
+        unitary: Function mapping the parameter tuple to a dense unitary.
+            Two-qubit unitaries use the convention that the *first* qubit of
+            the instruction is the most significant index (row-major kron
+            order ``U = kron(first, second)`` for separable gates).
+        always_clifford: True when the gate is Clifford for every parameter
+            value (all non-parameterized gates here).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    unitary: Callable[[tuple], np.ndarray]
+    always_clifford: bool
+
+    def matrix(self, params: tuple = ()) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name} takes {self.num_params} parameter(s), "
+                f"got {len(params)}")
+        return self.unitary(params)
+
+    def is_clifford(self, params: tuple = ()) -> bool:
+        """Clifford for these parameters (rotations: multiples of pi/2)."""
+        if self.always_clifford:
+            return True
+        return all(_is_multiple_of_half_pi(p) for p in params)
+
+
+def _is_multiple_of_half_pi(angle: float, tol: float = 1e-9) -> bool:
+    ratio = angle / (math.pi / 2)
+    return abs(ratio - round(ratio)) < tol
+
+
+_STATIC = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": _SQ2 * np.array([[1, 1], [1, -1]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    "sxdg": 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex),
+    # Two-qubit gates; first instruction qubit = most significant bit.
+    "cx": np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+                   dtype=complex),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+                     dtype=complex),
+}
+
+_PARAMETRIC = {"rx": _rx, "ry": _ry, "rz": _rz}
+
+
+def _build_registry() -> dict[str, GateSpec]:
+    registry = {}
+    for name, mat in _STATIC.items():
+        nq = 1 if mat.shape == (2, 2) else 2
+        registry[name] = GateSpec(
+            name=name, num_qubits=nq, num_params=0,
+            unitary=(lambda m: (lambda params: m))(mat), always_clifford=True)
+    for name, fn in _PARAMETRIC.items():
+        registry[name] = GateSpec(
+            name=name, num_qubits=1, num_params=1,
+            unitary=(lambda f: (lambda params: f(params[0])))(fn),
+            always_clifford=False)
+    return registry
+
+
+GATES: dict[str, GateSpec] = _build_registry()
+
+#: The names CAFQA's discrete search assigns to rotation angles k*pi/2.
+CLIFFORD_ANGLES = (0.0, math.pi / 2, math.pi, 3 * math.pi / 2)
+
+
+def get_gate(name: str) -> GateSpec:
+    try:
+        return GATES[name]
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None

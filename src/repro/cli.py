@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for quick exploration:
+
+    python -m repro list                      # benchmark suite
+    python -m repro ground-energy xxz_J0.50   # exact E0
+    python -m repro run ising_J1.00 --backend nairobi --method clapton
+    python -m repro molecule LiH 1.5          # chemistry pipeline summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from .hamiltonians import paper_benchmarks
+
+    for bench in paper_benchmarks(args.qubits):
+        print(f"{bench.name:<14} {bench.kind:<10} {bench.num_qubits}q")
+    return 0
+
+
+def _cmd_ground_energy(args) -> int:
+    from .hamiltonians import get_benchmark, ground_state_energy
+
+    bench = get_benchmark(args.benchmark, args.qubits)
+    hamiltonian = bench.hamiltonian()
+    print(f"{bench.name}: {hamiltonian.num_terms} terms, "
+          f"E0 = {ground_state_energy(hamiltonian):.6f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .backends import ALL_BACKENDS
+    from .core import VQEProblem, cafqa, clapton, evaluate_initial_point, ncafqa
+    from .experiments import bench_engine
+    from .hamiltonians import get_benchmark, ground_state_energy
+
+    drivers = {"cafqa": cafqa, "ncafqa": ncafqa, "clapton": clapton}
+    if args.method not in drivers:
+        print(f"unknown method {args.method!r}", file=sys.stderr)
+        return 2
+    if args.backend not in ALL_BACKENDS:
+        print(f"unknown backend {args.backend!r}", file=sys.stderr)
+        return 2
+    backend = ALL_BACKENDS[args.backend]()
+    num_qubits = args.qubits
+    hamiltonian = get_benchmark(args.benchmark, num_qubits).hamiltonian()
+    problem = VQEProblem.from_backend(hamiltonian, backend)
+    print(f"{args.benchmark} ({num_qubits}q) on {backend.name}, "
+          f"method={args.method}")
+    result = drivers[args.method](problem, config=bench_engine())
+    evaluation = evaluate_initial_point(result)
+    e0 = ground_state_energy(hamiltonian)
+    print(f"E0              = {e0:.6f}")
+    print(f"noise-free      = {evaluation.noiseless:.6f}")
+    print(f"clifford model  = {evaluation.clifford_model:.6f}")
+    print(f"device model    = {evaluation.device_model:.6f}")
+    print(f"engine: {result.engine.num_rounds} rounds, "
+          f"{result.engine.num_evaluations} evaluations, "
+          f"{result.engine.total_seconds:.1f}s")
+    return 0
+
+
+def _cmd_molecule(args) -> int:
+    from .chem import molecular_hamiltonian
+    from .hamiltonians import ground_state_energy
+
+    problem = molecular_hamiltonian(args.name, args.bond_length)
+    h = problem.hamiltonian
+    print(f"{args.name} at l = {args.bond_length} A (STO-3G, "
+          f"{problem.active_space.num_active} active orbitals)")
+    print(f"RHF energy = {problem.hf_energy:.6f} Ha "
+          f"(converged: {problem.scf.converged})")
+    print(f"qubit Hamiltonian: {h.num_qubits} qubits, {h.num_terms} terms")
+    print(f"FCI (active space) E0 = {ground_state_energy(h):.6f} Ha")
+    if args.save:
+        from .paulis.serialization import save_pauli_sum
+
+        save_pauli_sum(h, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Clapton reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the benchmark suite")
+    p_list.add_argument("--qubits", type=int, default=10)
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_ge = sub.add_parser("ground-energy", help="exact E0 of a benchmark")
+    p_ge.add_argument("benchmark")
+    p_ge.add_argument("--qubits", type=int, default=10)
+    p_ge.set_defaults(fn=_cmd_ground_energy)
+
+    p_run = sub.add_parser("run", help="run one initialization method")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--backend", default="toronto")
+    p_run.add_argument("--method", default="clapton")
+    p_run.add_argument("--qubits", type=int, default=6)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_mol = sub.add_parser("molecule", help="build a molecular Hamiltonian")
+    p_mol.add_argument("name", choices=["H2O", "H6", "LiH"])
+    p_mol.add_argument("bond_length", type=float)
+    p_mol.add_argument("--save", help="write the Hamiltonian to a JSON file")
+    p_mol.set_defaults(fn=_cmd_molecule)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Clapton core: problem transformation, losses, drivers, evaluation."""
+
+from .transformation import (
+    embed_table,
+    transform_hamiltonian,
+    transform_table,
+    transformation_tableau,
+    untransform_state_circuit,
+)
+from .problem import VQEProblem
+from .loss import CafqaLoss, ClaptonLoss
+from .clapton import InitializationResult, cafqa, clapton, ncafqa
+from .evaluation import PointEvaluation, evaluate_initial_point
+
+__all__ = [
+    "CafqaLoss", "ClaptonLoss", "InitializationResult", "PointEvaluation",
+    "VQEProblem", "cafqa", "clapton", "embed_table",
+    "evaluate_initial_point", "ncafqa", "transform_hamiltonian",
+    "transform_table", "transformation_tableau", "untransform_state_circuit",
+]

@@ -1,0 +1,135 @@
+"""End-to-end drivers: ``clapton()``, ``cafqa()``, ``ncafqa()``.
+
+Each driver runs the Figure-4 multi-GA engine on the method's cost function
+and returns an :class:`InitializationResult` exposing, uniformly across
+methods, everything the evaluation needs: the initial-point circuit and
+observable on the evaluation register, the Hamiltonian the subsequent VQE
+should optimize, and the VQE starting parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.ansatz import cafqa_angles
+from ..circuits.circuit import Circuit
+from ..noise.clifford_model import CliffordNoiseModel
+from ..optim.engine import EngineConfig, EngineResult, multi_ga_minimize
+from ..paulis.pauli_sum import PauliSum
+from .loss import CafqaLoss, ClaptonLoss
+from .problem import VQEProblem
+from .transformation import embed_table, transform_hamiltonian, transform_table
+
+
+@dataclass
+class InitializationResult:
+    """Outcome of one initialization method on one problem.
+
+    Attributes:
+        method: ``"clapton"``, ``"cafqa"``, or ``"ncafqa"``.
+        problem: The problem bundle the method ran on.
+        genome: Best genome found (``gamma`` for Clapton, Clifford rotation
+            levels for the baselines).
+        loss: Best engine loss (the method's own cost, not a device energy).
+        engine: Full engine bookkeeping (rounds, timings, evaluation count).
+        vqe_hamiltonian: The *logical* Hamiltonian the post-method VQE
+            optimizes -- transformed for Clapton, original otherwise.
+        initial_theta: VQE starting parameters (zeros for Clapton,
+            ``genome * pi/2`` for CAFQA/nCAFQA).
+    """
+
+    method: str
+    problem: VQEProblem
+    genome: np.ndarray
+    loss: float
+    engine: EngineResult
+    vqe_hamiltonian: PauliSum
+    initial_theta: np.ndarray
+
+    # ------------------------------------------------------------------
+    # The initial point, as evaluated on the device register
+    # ------------------------------------------------------------------
+    def initial_circuit(self) -> Circuit:
+        """Bound Clifford circuit preparing the initial state on hardware."""
+        if self.method == "clapton":
+            return self.problem.skeleton()
+        return self.problem.bound_ansatz(self.initial_theta)
+
+    def initial_observable(self) -> PauliSum:
+        """The measured Hamiltonian on the evaluation register."""
+        problem = self.problem
+        if self.method == "clapton":
+            table = transform_table(problem.hamiltonian, self.genome,
+                                    problem.entanglement)
+            eval_table = embed_table(table, problem.positions,
+                                     problem.num_eval_qubits)
+            return PauliSum(eval_table, problem.hamiltonian.coefficients.copy())
+        return problem.mapped_hamiltonian()
+
+
+def clapton(problem: VQEProblem, config: EngineConfig | None = None,
+            clifford_model: CliffordNoiseModel | None = None,
+            noisy_weight: float = 1.0, noiseless_weight: float = 1.0
+            ) -> InitializationResult:
+    """Run the Clapton transformation search (Sec. 4.1).
+
+    Args:
+        problem: Problem bundle (transpiled or logical).
+        config: Engine hyperparameters; defaults to the paper's
+            s=10 / m=100 / k=20 / |S|=100 working point.
+        clifford_model: Override the L_N noise projection (ablations).
+        noisy_weight / noiseless_weight: Cost-term weights (ablations).
+    """
+    loss = ClaptonLoss(problem, clifford_model=clifford_model,
+                       noisy_weight=noisy_weight,
+                       noiseless_weight=noiseless_weight)
+    engine = multi_ga_minimize(loss, problem.num_transformation_parameters,
+                               num_values=4, config=config)
+    gamma = engine.best_genome
+    return InitializationResult(
+        method="clapton",
+        problem=problem,
+        genome=gamma,
+        loss=engine.best_loss,
+        engine=engine,
+        vqe_hamiltonian=transform_hamiltonian(problem.hamiltonian, gamma,
+                                              problem.entanglement),
+        initial_theta=np.zeros(problem.num_vqe_parameters),
+    )
+
+
+def _cafqa_like(problem: VQEProblem, noise_aware: bool,
+                config: EngineConfig | None,
+                clifford_model: CliffordNoiseModel | None
+                ) -> InitializationResult:
+    loss = CafqaLoss(problem, noise_aware=noise_aware,
+                     clifford_model=clifford_model)
+    engine = multi_ga_minimize(loss, problem.num_vqe_parameters,
+                               num_values=4, config=config)
+    genome = engine.best_genome
+    return InitializationResult(
+        method="ncafqa" if noise_aware else "cafqa",
+        problem=problem,
+        genome=genome,
+        loss=engine.best_loss,
+        engine=engine,
+        vqe_hamiltonian=problem.hamiltonian,
+        initial_theta=cafqa_angles(genome),
+    )
+
+
+def cafqa(problem: VQEProblem, config: EngineConfig | None = None
+          ) -> InitializationResult:
+    """The CAFQA baseline: noiseless Clifford search over ansatz angles."""
+    return _cafqa_like(problem, noise_aware=False, config=config,
+                       clifford_model=None)
+
+
+def ncafqa(problem: VQEProblem, config: EngineConfig | None = None,
+           clifford_model: CliffordNoiseModel | None = None
+           ) -> InitializationResult:
+    """Noise-aware CAFQA: the paper's strengthened baseline (Sec. 5.2)."""
+    return _cafqa_like(problem, noise_aware=True, config=config,
+                       clifford_model=clifford_model)

@@ -1,0 +1,55 @@
+"""Three-tier evaluation of initialization results (Figure 5's markers).
+
+For an initial point the paper reports three energies:
+
+1. noise-free (diamond) -- exact stabilizer evaluation, the algorithmic
+   lower bound every method optimizes against;
+2. Clifford noise model (circle) -- what Clapton/nCAFQA's L_N sees;
+3. device model or hardware (x) -- full density-matrix evolution with
+   non-Clifford relaxation (and, for hardware twins, parameters the
+   optimizer never saw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..densesim.evaluator import noisy_energy
+from ..noise.clifford_model import CliffordNoiseModel
+from ..stabilizer.simulator import clifford_state_expectation
+from .clapton import InitializationResult
+
+
+@dataclass
+class PointEvaluation:
+    """Energies of one prepared state under the three noise tiers."""
+
+    noiseless: float
+    clifford_model: float
+    device_model: float
+    hardware: float | None = None
+
+    def model_gap(self) -> float:
+        """|clifford model - device model|: the discrepancy the paper shows
+        shrinking under Clapton (Fig. 2)."""
+        return abs(self.clifford_model - self.device_model)
+
+
+def evaluate_initial_point(result: InitializationResult,
+                           include_hardware: bool = True) -> PointEvaluation:
+    """Evaluate an initialization under all available noise tiers."""
+    problem = result.problem
+    circuit = result.initial_circuit()
+    observable = result.initial_observable()
+    noiseless = clifford_state_expectation(circuit, observable)
+    clifford_model = CliffordNoiseModel(problem.noise_model) \
+        .noisy_zero_state_energy(circuit, observable)
+    device_model = noisy_energy(circuit, observable, problem.noise_model)
+    hardware = None
+    if include_hardware and problem.hardware_noise_model is not None:
+        hardware = noisy_energy(circuit, observable,
+                                problem.hardware_noise_model)
+    return PointEvaluation(noiseless=noiseless,
+                           clifford_model=clifford_model,
+                           device_model=device_model,
+                           hardware=hardware)

@@ -1,0 +1,143 @@
+"""Problem bundle shared by Clapton and the CAFQA baselines.
+
+Collects what every method needs: the logical Hamiltonian, the (possibly
+transpiled) VQE ansatz, the theta = 0 Clifford skeleton, the logical-to-
+register qubit positions, and the device noise model on that register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends.backend import Backend
+from ..circuits.ansatz import (
+    drop_identity_rotations,
+    hardware_efficient_ansatz,
+    num_transformation_parameters,
+)
+from ..circuits.circuit import Circuit
+from ..noise.model import NoiseModel
+from ..paulis.pauli_sum import PauliSum
+from ..transpiler.transpile import TranspileResult, transpile
+from .transformation import embed_table
+
+
+@dataclass
+class VQEProblem:
+    """One VQE instance, ready for initialization-method optimization.
+
+    Attributes:
+        hamiltonian: Logical problem ``H`` on ``N`` qubits.
+        eval_ansatz: Parameterized ansatz on the evaluation register (the
+            transpiled ``A'`` when a backend is involved, the logical ``A``
+            otherwise); ``4N`` symbolic parameters.
+        positions: ``positions[q]`` is the evaluation-register index holding
+            logical qubit ``q`` at measurement time (the transpiler's final
+            layout; identity when untranspiled).
+        noise_model: Device model on the evaluation register.
+        hardware_noise_model: Optional second model used only for "real
+            hardware" evaluation (the hanoi twin); ``None`` elsewhere.
+        entanglement: Ansatz entanglement pattern.
+        transpiled: The full transpile result when a backend was used.
+    """
+
+    hamiltonian: PauliSum
+    eval_ansatz: Circuit
+    positions: list[int]
+    noise_model: NoiseModel
+    hardware_noise_model: NoiseModel | None = None
+    entanglement: str = "circular"
+    transpiled: TranspileResult | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_backend(cls, hamiltonian: PauliSum, backend: Backend,
+                     entanglement: str = "circular",
+                     layout: list[int] | None = None,
+                     hardware: Backend | None = None) -> "VQEProblem":
+        """Transpile the ansatz onto a backend (the paper's main flow).
+
+        Args:
+            hamiltonian: Logical problem.
+            backend: Device whose *calibration model* the optimization sees.
+            entanglement: Ansatz entanglement pattern.
+            layout: Optional explicit initial placement.
+            hardware: Optional "actual device" (typically
+                ``backend.hardware_twin()``); its jittered rates and
+                unmodeled coherent errors define the hardware evaluation
+                tier, reproducing the paper's hanoi experiments.
+        """
+        ansatz = hardware_efficient_ansatz(hamiltonian.num_qubits, entanglement)
+        result = transpile(ansatz, backend, layout=layout)
+        hardware_nm = None
+        if hardware is not None:
+            hardware_nm = hardware.twin_noise_model(result.physical_qubits)
+        elif backend.is_hardware:
+            hardware_nm = backend.twin_noise_model(result.physical_qubits)
+        return cls(
+            hamiltonian=hamiltonian,
+            eval_ansatz=result.circuit,
+            positions=[result.final_layout[q]
+                       for q in range(hamiltonian.num_qubits)],
+            noise_model=result.noise_model(),
+            hardware_noise_model=hardware_nm,
+            entanglement=entanglement,
+            transpiled=result,
+        )
+
+    @classmethod
+    def logical(cls, hamiltonian: PauliSum,
+                noise_model: NoiseModel | None = None,
+                entanglement: str = "circular") -> "VQEProblem":
+        """Untranspiled problem (Fig. 7/8 sweeps, Fig. 9 scaling study)."""
+        n = hamiltonian.num_qubits
+        if noise_model is None:
+            noise_model = NoiseModel.noiseless(n)
+        if noise_model.num_qubits != n:
+            raise ValueError("noise model width must match the Hamiltonian")
+        return cls(
+            hamiltonian=hamiltonian,
+            eval_ansatz=hardware_efficient_ansatz(n, entanglement),
+            positions=list(range(n)),
+            noise_model=noise_model,
+            entanglement=entanglement,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    @property
+    def num_logical_qubits(self) -> int:
+        return self.hamiltonian.num_qubits
+
+    @property
+    def num_eval_qubits(self) -> int:
+        return self.eval_ansatz.num_qubits
+
+    @property
+    def num_vqe_parameters(self) -> int:
+        return self.eval_ansatz.num_parameters
+
+    @property
+    def num_transformation_parameters(self) -> int:
+        return num_transformation_parameters(self.num_logical_qubits,
+                                              self.entanglement)
+
+    def skeleton(self) -> Circuit:
+        """``A'(0)``: the bound, identity-free Clifford skeleton."""
+        zero = np.zeros(self.eval_ansatz.num_parameters)
+        return drop_identity_rotations(self.eval_ansatz.bind(zero))
+
+    def bound_ansatz(self, theta) -> Circuit:
+        """``A'(theta)`` with exact-identity rotations removed."""
+        return drop_identity_rotations(self.eval_ansatz.bind(theta))
+
+    def mapped_hamiltonian(self) -> PauliSum:
+        """The logical Hamiltonian re-indexed onto the evaluation register."""
+        table = embed_table(self.hamiltonian.table, self.positions,
+                            self.num_eval_qubits)
+        return PauliSum(table, self.hamiltonian.coefficients.copy())

@@ -1,0 +1,77 @@
+"""The Clapton problem transformation (Sec. 3.2).
+
+A genome ``gamma`` decodes to a Clifford circuit ``C(gamma)``; the VQE
+problem transforms by anticonjugation, ``H -> H(gamma) = C†(gamma) H C(gamma)``
+(Eq. 5/6), with conjugation signs absorbed into the coefficients so the
+transformed problem is again a plain weighted Pauli sum -- directly
+implementable in the VQE framework, as the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.ansatz import clapton_transformation_circuit
+from ..circuits.circuit import Circuit
+from ..paulis.pauli_sum import PauliSum
+from ..paulis.table import PauliTable
+from ..stabilizer.tableau import CliffordTableau
+
+
+def transformation_tableau(gamma, num_qubits: int,
+                           entanglement: str = "circular") -> CliffordTableau:
+    """Tableau of ``C†(gamma)`` (the anticonjugation direction)."""
+    circuit = clapton_transformation_circuit(gamma, num_qubits, entanglement)
+    return CliffordTableau.from_circuit(circuit.inverse())
+
+
+def transform_table(hamiltonian: PauliSum, gamma,
+                    entanglement: str = "circular") -> PauliTable:
+    """Anticonjugated term table (rows carry +-1 signs; hot-loop form).
+
+    Applies the inverse transformation circuit gate by gate through the
+    LUT-based batch conjugation -- the fastest path for the GA inner loop.
+    """
+    from ..noise.clifford_model import _inverse_gate_tableau
+    from ..stabilizer.tableau import apply_gate_to_table
+
+    circuit = clapton_transformation_circuit(gamma, hamiltonian.num_qubits,
+                                             entanglement)
+    table = hamiltonian.table.copy()
+    # C† P C: pull P through the inverse circuit's gates front to back
+    for inst in reversed(circuit.instructions):
+        apply_gate_to_table(table, _inverse_gate_tableau(inst), inst.qubits)
+    return table
+
+
+def transform_hamiltonian(hamiltonian: PauliSum, gamma,
+                          entanglement: str = "circular") -> PauliSum:
+    """The transformed problem ``H(gamma)`` as a canonical PauliSum."""
+    table = transform_table(hamiltonian, gamma, entanglement)
+    return PauliSum(table, hamiltonian.coefficients.copy())
+
+
+def untransform_state_circuit(gamma, num_qubits: int, vqe_circuit: Circuit,
+                              entanglement: str = "circular") -> Circuit:
+    """Circuit preparing the *original*-problem state from a post-Clapton one.
+
+    Running VQE on ``H(gamma)`` produces ``|psi_hat> = A(theta)|0>``; the
+    equivalent state for the original ``H`` is ``C(gamma)|psi_hat>``
+    (Sec. 3.2), so the returned circuit is ``A(theta)`` followed by
+    ``C(gamma)`` -- cheap to realize in experiment because ``C`` uses only
+    1- and 2-qubit Clifford gates.
+    """
+    transform = clapton_transformation_circuit(gamma, num_qubits, entanglement)
+    return vqe_circuit.compose(transform)
+
+
+def embed_table(table: PauliTable, positions: list[int], num_qubits: int
+                ) -> PauliTable:
+    """Scatter table columns onto a wider register (logical -> physical)."""
+    m = table.num_rows
+    x = np.zeros((m, num_qubits), dtype=bool)
+    z = np.zeros((m, num_qubits), dtype=bool)
+    for logical, target in enumerate(positions):
+        x[:, target] = table.x[:, logical]
+        z[:, target] = table.z[:, logical]
+    return PauliTable(x, z, table.phase_exp.copy())

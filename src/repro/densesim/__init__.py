@@ -1,0 +1,23 @@
+"""Dense statevector / density-matrix simulation (Aer substitute)."""
+
+from .statevector import (
+    apply_matrix,
+    pauli_expectation,
+    pauli_sum_expectation,
+    simulate_statevector,
+)
+from .density_matrix import DensityMatrixSimulator
+from . import channels
+from .evaluator import (
+    evolve_with_noise,
+    measurement_attenuations,
+    noiseless_energy,
+    noisy_energy,
+)
+
+__all__ = [
+    "DensityMatrixSimulator", "apply_matrix", "channels",
+    "evolve_with_noise", "measurement_attenuations", "noiseless_energy",
+    "noisy_energy", "pauli_expectation", "pauli_sum_expectation",
+    "simulate_statevector",
+]

@@ -1,0 +1,104 @@
+"""Kraus operators for the noise channels of Section 2.2.
+
+These feed the density-matrix simulator that plays the role of Qiskit's
+``AerSimulator`` with a backend noise model: depolarizing gate errors
+(Sec. 2.2.2), thermal relaxation via amplitude damping (Sec. 2.2.1, the
+non-Clifford channel that the Clifford noise model cannot capture), pure
+dephasing, and bit-flip readout error (Sec. 2.2.3).
+
+Every constructor returns a list of Kraus matrices ``K_i`` satisfying
+``sum_i K_i† K_i = 1`` (validated in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..paulis.pauli import PAULI_MATRICES
+
+_I2 = np.eye(2, dtype=complex)
+
+
+def depolarizing_kraus(p: float, num_qubits: int = 1) -> list[np.ndarray]:
+    """Depolarizing channel of strength ``p`` on 1 or 2 qubits.
+
+    With probability ``p`` one of the 4^k - 1 non-identity Paulis is applied
+    (each with probability ``p / (4^k - 1)``) -- the convention used by stim
+    and by randomized-benchmarking error rates (Sec. 2.2.2).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("depolarizing strength must be in [0, 1]")
+    if num_qubits == 1:
+        paulis = [PAULI_MATRICES[c] for c in "IXYZ"]
+    elif num_qubits == 2:
+        paulis = [np.kron(PAULI_MATRICES[a], PAULI_MATRICES[b])
+                  for a in "IXYZ" for b in "IXYZ"]
+    else:
+        raise ValueError("only 1- and 2-qubit depolarizing supported")
+    num_errors = len(paulis) - 1
+    ops = [math.sqrt(1.0 - p) * paulis[0]]
+    ops.extend(math.sqrt(p / num_errors) * mat for mat in paulis[1:])
+    return ops
+
+
+def amplitude_damping_kraus(gamma: float) -> list[np.ndarray]:
+    """T1 decay: ``|1> -> |0>`` with probability ``gamma = 1 - exp(-t/T1)``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("damping probability must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_kraus(lam: float) -> list[np.ndarray]:
+    """Pure dephasing with parameter ``lam`` (off-diagonals shrink by sqrt(1-lam))."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("dephasing parameter must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def bitflip_kraus(p: float) -> list[np.ndarray]:
+    """Classical bit flip with probability ``p`` (symmetric readout model)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("flip probability must be in [0, 1]")
+    return [math.sqrt(1 - p) * _I2, math.sqrt(p) * PAULI_MATRICES["X"]]
+
+
+def compose_kraus(first: Sequence[np.ndarray], second: Sequence[np.ndarray]
+                  ) -> list[np.ndarray]:
+    """Kraus set of ``second . first`` (apply ``first``, then ``second``)."""
+    return [k2 @ k1 for k2 in second for k1 in first]
+
+
+def thermal_relaxation_kraus(duration: float, t1: float, t2: float
+                             ) -> list[np.ndarray]:
+    """Thermal relaxation over ``duration`` with decay times ``T1`` and ``T2``.
+
+    Modeled as amplitude damping with ``gamma = 1 - exp(-t/T1)`` composed
+    with the pure dephasing that tops total coherence decay up to
+    ``exp(-t/T2)``.  Requires ``T2 <= 2*T1`` (physicality).
+    """
+    if duration < 0 or t1 <= 0 or t2 <= 0:
+        raise ValueError("duration must be >= 0 and decay times positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("unphysical decay times: T2 must be <= 2*T1")
+    gamma = 1.0 - math.exp(-duration / t1)
+    # total off-diagonal factor exp(-t/T2) = sqrt(1-gamma) * sqrt(1-lam)
+    target = math.exp(-duration / t2)
+    base = math.sqrt(1.0 - gamma)
+    lam = 1.0 - min(1.0, (target / base) ** 2) if base > 0 else 0.0
+    return compose_kraus(amplitude_damping_kraus(gamma),
+                         phase_damping_kraus(lam))
+
+
+def validate_kraus(ops: Sequence[np.ndarray], atol: float = 1e-9) -> None:
+    """Raise unless ``sum K† K = 1`` (trace preservation)."""
+    dim = ops[0].shape[0]
+    total = sum(k.conj().T @ k for k in ops)
+    if not np.allclose(total, np.eye(dim), atol=atol):
+        raise ValueError("Kraus operators are not trace preserving")

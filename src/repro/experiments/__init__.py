@@ -1,0 +1,19 @@
+"""Experiment presets and runners used by the figure benchmarks."""
+
+from .config import FAST_ENGINE, PAPER_ENGINE, SMOKE_ENGINE, bench_engine
+from .runners import (
+    METHODS,
+    ComparisonRow,
+    build_problem,
+    compare_initializations,
+    convergence_traces,
+    format_comparison_table,
+    sweep_relative_improvement,
+)
+
+__all__ = [
+    "ComparisonRow", "FAST_ENGINE", "METHODS", "PAPER_ENGINE", "SMOKE_ENGINE",
+    "bench_engine", "build_problem", "compare_initializations",
+    "convergence_traces", "format_comparison_table",
+    "sweep_relative_improvement",
+]

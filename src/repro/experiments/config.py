@@ -1,0 +1,42 @@
+"""Shared experiment configuration presets.
+
+``PAPER_ENGINE`` is the hyperparameter point the paper reports
+(s = 10, m = 100, k = 20, |S| = 100, two retry rounds).  The benchmark
+harnesses default to the reduced presets below so that regenerating every
+figure stays in the minutes range on a laptop; EXPERIMENTS.md records which
+preset produced which numbers.  Pass ``CLAPTON_BENCH_PRESET=paper`` in the
+environment to run benches at full fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..optim.engine import EngineConfig
+
+#: The paper's working point (Sec. 4.1).
+PAPER_ENGINE = EngineConfig(num_instances=10, generations_per_round=100,
+                            top_k=20, population_size=100, retry_rounds=2,
+                            seed=0)
+
+#: Reduced engine for benchmark harnesses: same structure, smaller budget.
+FAST_ENGINE = EngineConfig(num_instances=3, generations_per_round=25,
+                           top_k=8, population_size=32, retry_rounds=1,
+                           seed=0)
+
+#: Minimal engine for smoke tests and the quickstart example.
+SMOKE_ENGINE = EngineConfig(num_instances=2, generations_per_round=12,
+                            top_k=5, population_size=20, retry_rounds=1,
+                            seed=0)
+
+
+def bench_engine() -> EngineConfig:
+    """Engine preset selected by the CLAPTON_BENCH_PRESET env variable."""
+    preset = os.environ.get("CLAPTON_BENCH_PRESET", "fast").lower()
+    if preset == "paper":
+        return PAPER_ENGINE
+    if preset == "fast":
+        return FAST_ENGINE
+    if preset == "smoke":
+        return SMOKE_ENGINE
+    raise ValueError(f"unknown bench preset {preset!r}")

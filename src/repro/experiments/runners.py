@@ -1,0 +1,139 @@
+"""Reusable experiment runners behind the figure benchmarks and examples.
+
+Each runner reproduces one experimental unit of the paper's evaluation:
+``compare_initializations`` produces one Fig. 5 column (three methods, three
+noise tiers, relative improvements), ``convergence_traces`` one Fig. 6 panel,
+and ``sweep_relative_improvement`` one Fig. 7/8 curve point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..backends.backend import Backend
+from ..core.clapton import InitializationResult, cafqa, clapton, ncafqa
+from ..core.evaluation import PointEvaluation, evaluate_initial_point
+from ..core.problem import VQEProblem
+from ..hamiltonians.exact import ground_state_energy
+from ..metrics import relative_improvement
+from ..noise.model import NoiseModel
+from ..optim.engine import EngineConfig
+from ..paulis.pauli_sum import PauliSum
+from ..vqe.runner import VQETrace, run_vqe
+
+METHODS = ("cafqa", "ncafqa", "clapton")
+_DRIVERS = {"cafqa": cafqa, "ncafqa": ncafqa, "clapton": clapton}
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark's initialization comparison (a Fig. 5 column).
+
+    Attributes:
+        benchmark: Benchmark name.
+        e0: Exact ground energy.
+        e_mixed: Fully mixed state energy (normalization fixpoint).
+        evaluations: Per-method three-tier energies.
+        vqe: Optional per-method VQE traces (the "final point" data).
+    """
+
+    benchmark: str
+    e0: float
+    e_mixed: float
+    evaluations: dict[str, PointEvaluation]
+    results: dict[str, InitializationResult] = field(default_factory=dict)
+    vqe: dict[str, VQETrace] = field(default_factory=dict)
+
+    def eta_initial(self, baseline: str, tier: str = "device_model") -> float:
+        """Relative improvement of Clapton over a baseline (Eq. 14)."""
+        base = getattr(self.evaluations[baseline], tier)
+        clap = getattr(self.evaluations["clapton"], tier)
+        return relative_improvement(self.e0, base, clap)
+
+    def eta_final(self, baseline: str) -> float:
+        return relative_improvement(self.e0,
+                                    self.vqe[baseline].final_energy,
+                                    self.vqe["clapton"].final_energy)
+
+
+def build_problem(hamiltonian: PauliSum, backend: Backend | None,
+                  noise_model: NoiseModel | None = None,
+                  hardware: Backend | None = None) -> VQEProblem:
+    if backend is not None:
+        return VQEProblem.from_backend(hamiltonian, backend,
+                                       hardware=hardware)
+    return VQEProblem.logical(hamiltonian, noise_model=noise_model)
+
+
+def compare_initializations(benchmark_name: str, hamiltonian: PauliSum,
+                            problem: VQEProblem, config: EngineConfig,
+                            methods=METHODS, vqe_iterations: int = 0,
+                            seed: int = 0) -> ComparisonRow:
+    """Run the requested methods on one problem and evaluate all tiers."""
+    e0 = ground_state_energy(hamiltonian)
+    row = ComparisonRow(benchmark=benchmark_name, e0=e0,
+                        e_mixed=hamiltonian.mixed_state_energy(),
+                        evaluations={})
+    for method in methods:
+        result = _DRIVERS[method](problem, config=config)
+        row.results[method] = result
+        row.evaluations[method] = evaluate_initial_point(result)
+        if vqe_iterations > 0:
+            row.vqe[method] = run_vqe(result, maxiter=vqe_iterations,
+                                      seed=seed)
+    return row
+
+
+def convergence_traces(hamiltonian: PauliSum, problem: VQEProblem,
+                       config: EngineConfig, vqe_iterations: int,
+                       methods=METHODS, seed: int = 0
+                       ) -> dict[str, VQETrace]:
+    """Per-method VQE convergence histories (one Fig. 6 panel)."""
+    traces = {}
+    for method in methods:
+        result = _DRIVERS[method](problem, config=config)
+        traces[method] = run_vqe(result, maxiter=vqe_iterations, seed=seed)
+    return traces
+
+
+def sweep_relative_improvement(hamiltonian: PauliSum,
+                               noise_models: list[NoiseModel],
+                               config: EngineConfig,
+                               baseline: str = "ncafqa",
+                               tier: str = "device_model") -> list[float]:
+    """eta(baseline -> clapton) across a list of noise settings.
+
+    The Fig. 7/8 harnesses build the noise-model list by sweeping one
+    channel's strength with everything else fixed.
+    """
+    e0 = ground_state_energy(hamiltonian)
+    etas = []
+    for noise_model in noise_models:
+        problem = VQEProblem.logical(hamiltonian, noise_model=noise_model)
+        base = _DRIVERS[baseline](problem, config=config)
+        clap = clapton(problem, config=config)
+        e_base = getattr(evaluate_initial_point(base), tier)
+        e_clap = getattr(evaluate_initial_point(clap), tier)
+        etas.append(relative_improvement(e0, e_base, e_clap))
+    return etas
+
+
+def format_comparison_table(rows: list[ComparisonRow],
+                            baseline: str = "cafqa") -> str:
+    """Fixed-width text table mirroring Fig. 5's content."""
+    lines = [
+        f"{'benchmark':<14} {'E0':>10} "
+        f"{'cafqa':>10} {'ncafqa':>10} {'clapton':>10} "
+        f"{'eta_vs_cafqa':>13} {'eta_vs_ncafqa':>14}"
+    ]
+    for row in rows:
+        e = {m: row.evaluations[m].device_model for m in row.evaluations}
+        lines.append(
+            f"{row.benchmark:<14} {row.e0:>10.4f} "
+            f"{e.get('cafqa', float('nan')):>10.4f} "
+            f"{e.get('ncafqa', float('nan')):>10.4f} "
+            f"{e.get('clapton', float('nan')):>10.4f} "
+            f"{row.eta_initial('cafqa'):>13.2f} "
+            f"{row.eta_initial('ncafqa'):>14.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Benchmark Hamiltonians: spin chains, molecules (via repro.chem), exact E0."""
+
+from .spin_models import PAPER_COUPLINGS, ising_model, xxz_model
+from .exact import (
+    ground_state,
+    ground_state_energy,
+    pauli_sum_to_sparse,
+    pauli_to_sparse,
+)
+from .maxcut import (
+    best_cut_bruteforce,
+    cut_value,
+    maxcut_hamiltonian,
+    random_maxcut_instance,
+)
+from .registry import (
+    Benchmark,
+    CHEMISTRY_CASES,
+    chemistry_benchmarks,
+    get_benchmark,
+    paper_benchmarks,
+    physics_benchmarks,
+)
+
+__all__ = [
+    "Benchmark", "best_cut_bruteforce", "cut_value", "maxcut_hamiltonian",
+    "random_maxcut_instance", "CHEMISTRY_CASES", "PAPER_COUPLINGS",
+    "chemistry_benchmarks", "get_benchmark", "ground_state",
+    "ground_state_energy", "ising_model", "paper_benchmarks",
+    "pauli_sum_to_sparse", "pauli_to_sparse", "physics_benchmarks",
+    "xxz_model",
+]

@@ -1,0 +1,100 @@
+"""The paper's benchmark suite (Sec. 5.1) as a name-addressable registry.
+
+Twelve benchmarks: Ising and XXZ chains at J in {0.25, 0.50, 1.00} (7 qubits
+on nairobi, 10 elsewhere) and three molecules at two bond lengths each
+(always 10 qubits after the active-space + parity-mapping pipeline).
+Chemistry Hamiltonians are built on first use and cached -- the RHF +
+integral pipeline takes a few seconds per molecule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..paulis.pauli_sum import PauliSum
+from .spin_models import PAPER_COUPLINGS, ising_model, xxz_model
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One VQE problem of the evaluation suite.
+
+    Attributes:
+        name: Registry key, e.g. ``"ising_J0.25"`` or ``"H2O_l1.0"``.
+        kind: ``"physics"`` or ``"chemistry"``.
+        num_qubits: Hamiltonian width.
+        build: Zero-argument constructor of the :class:`PauliSum`.
+    """
+
+    name: str
+    kind: str
+    num_qubits: int
+    build: Callable[[], PauliSum]
+
+    def hamiltonian(self) -> PauliSum:
+        key = (self.name, self.num_qubits)
+        if key not in _BUILD_CACHE:
+            _BUILD_CACHE[key] = self.build()
+        return _BUILD_CACHE[key]
+
+
+_BUILD_CACHE: dict[tuple[str, int], PauliSum] = {}
+
+
+def physics_benchmarks(num_qubits: int = 10) -> list[Benchmark]:
+    """Ising + XXZ at the paper's three couplings."""
+    out = []
+    for coupling in PAPER_COUPLINGS:
+        out.append(Benchmark(
+            name=f"ising_J{coupling:.2f}", kind="physics",
+            num_qubits=num_qubits,
+            build=(lambda c=coupling, n=num_qubits: ising_model(n, c))))
+        out.append(Benchmark(
+            name=f"xxz_J{coupling:.2f}", kind="physics",
+            num_qubits=num_qubits,
+            build=(lambda c=coupling, n=num_qubits: xxz_model(n, c))))
+    return out
+
+
+#: molecule -> the two bond lengths (angstrom) of Sec. 5.1.2.
+CHEMISTRY_CASES = {
+    "H2O": (1.0, 3.0),
+    "H6": (1.0, 3.0),
+    "LiH": (1.5, 4.5),
+}
+
+
+def chemistry_benchmarks() -> list[Benchmark]:
+    """The six molecular benchmarks (10 qubits each)."""
+    out = []
+    for molecule, lengths in CHEMISTRY_CASES.items():
+        for length in lengths:
+            out.append(Benchmark(
+                name=f"{molecule}_l{length:.1f}", kind="chemistry",
+                num_qubits=10,
+                build=(lambda m=molecule, l=length: _build_molecule(m, l))))
+    return out
+
+
+def _build_molecule(molecule: str, bond_length: float) -> PauliSum:
+    from ..chem.driver import molecular_hamiltonian
+
+    return molecular_hamiltonian(molecule, bond_length).hamiltonian
+
+
+def paper_benchmarks(num_qubits: int = 10,
+                     include_chemistry: bool = True) -> list[Benchmark]:
+    """The full Fig. 5 suite at a given physics-model width."""
+    suite = physics_benchmarks(num_qubits)
+    if include_chemistry:
+        suite.extend(chemistry_benchmarks())
+    return suite
+
+
+def get_benchmark(name: str, num_qubits: int = 10) -> Benchmark:
+    for bench in paper_benchmarks(num_qubits):
+        if bench.name == name:
+            return bench
+    known = [b.name for b in paper_benchmarks(num_qubits)]
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")

@@ -1,0 +1,42 @@
+"""The paper's physics benchmark Hamiltonians (Sec. 5.1.1).
+
+Both are 1-D chains with open boundaries and constant couplings:
+
+* Transverse-field Ising (Eq. 12):
+  ``H = J * sum_i X_i X_{i+1} + sum_i Z_i``
+* XXZ Heisenberg (Eq. 13):
+  ``H = sum_i (J X_i X_{i+1} + J Y_i Y_{i+1} + Z_i Z_{i+1})``
+
+The paper studies ``J in {0.25, 0.50, 1.00}`` for both.
+"""
+
+from __future__ import annotations
+
+from ..paulis.pauli_sum import PauliSum
+
+#: Coupling strengths evaluated throughout the paper.
+PAPER_COUPLINGS = (0.25, 0.50, 1.00)
+
+
+def ising_model(num_qubits: int, coupling: float) -> PauliSum:
+    """Transverse-field Ising chain (Eq. 12)."""
+    if num_qubits < 2:
+        raise ValueError("chain needs at least two sites")
+    terms = []
+    for i in range(num_qubits - 1):
+        terms.append((coupling, {i: "X", i + 1: "X"}))
+    for i in range(num_qubits):
+        terms.append((1.0, {i: "Z"}))
+    return PauliSum.from_sparse_terms(terms, num_qubits)
+
+
+def xxz_model(num_qubits: int, coupling: float) -> PauliSum:
+    """Field-free XXZ Heisenberg chain (Eq. 13)."""
+    if num_qubits < 2:
+        raise ValueError("chain needs at least two sites")
+    terms = []
+    for i in range(num_qubits - 1):
+        terms.append((coupling, {i: "X", i + 1: "X"}))
+        terms.append((coupling, {i: "Y", i + 1: "Y"}))
+        terms.append((1.0, {i: "Z", i + 1: "Z"}))
+    return PauliSum.from_sparse_terms(terms, num_qubits)

@@ -1,0 +1,63 @@
+"""Evaluation metrics (Sec. 5.2.1).
+
+The paper's primary metric is the relative improvement (Eq. 14)
+
+    eta = (E0 - E_noisy(baseline)) / (E0 - E_noisy(clapton))
+
+i.e. by what factor Clapton shrinks the gap to the exact ground energy under
+noisy evaluation.  Figure 5 summarizes suites with the geometric mean of
+eta, and normalizes raw energies between the ground energy E0 and the fully
+mixed state's energy E_rho = tr[H] / 2^N.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+def relative_improvement(e0: float, baseline_energy: float,
+                         clapton_energy: float) -> float:
+    """Eq. 14; values > 1 mean Clapton is closer to the ground energy.
+
+    Raises:
+        ValueError: if either method's energy is below E0 (unphysical for a
+            correct evaluation -- catching sign conventions early).
+    """
+    gap_baseline = baseline_energy - e0
+    gap_clapton = clapton_energy - e0
+    if gap_baseline < -1e-9 or gap_clapton < -1e-9:
+        raise ValueError("noisy energies cannot undercut the ground energy")
+    if gap_clapton <= 0:
+        return math.inf if gap_baseline > 0 else 1.0
+    return gap_baseline / gap_clapton
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive ratios (the paper's suite aggregate)."""
+    array = np.asarray(list(values), dtype=float)
+    if len(array) == 0:
+        raise ValueError("need at least one value")
+    if (array <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def normalized_energy(energy: float, e0: float, e_mixed: float) -> float:
+    """Map energy to the paper's [0, 1] display scale.
+
+    0 is the ground energy, 1 the fully mixed state's energy -- the two
+    fixpoints Fig. 5 aligns across benchmarks.
+    """
+    if e_mixed <= e0:
+        raise ValueError("mixed-state energy must exceed the ground energy")
+    return (energy - e0) / (e_mixed - e0)
+
+
+def gap_reduction_percent(eta: float) -> float:
+    """Human-readable form: eta = 1.3 corresponds to a ~23% gap reduction."""
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    return 100.0 * (1.0 - 1.0 / eta)

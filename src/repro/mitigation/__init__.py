@@ -1,0 +1,25 @@
+"""Composable error mitigation: ZNE and readout mitigation (Sec. 8 future work)."""
+
+from .folding import fold_gates, fold_global
+from .zne import (
+    ZNEResult,
+    exponential_extrapolation,
+    linear_extrapolation,
+    richardson_extrapolation,
+    zne_energy,
+)
+from .readout import (
+    confusion_matrices,
+    counts_to_probabilities,
+    mitigate_counts,
+    mitigate_probabilities,
+    z_expectation_from_probabilities,
+)
+
+__all__ = [
+    "ZNEResult", "confusion_matrices", "counts_to_probabilities",
+    "exponential_extrapolation", "fold_gates", "fold_global",
+    "linear_extrapolation", "mitigate_counts", "mitigate_probabilities",
+    "richardson_extrapolation", "z_expectation_from_probabilities",
+    "zne_energy",
+]

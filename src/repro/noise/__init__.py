@@ -1,0 +1,15 @@
+"""Noise models: device parameters, Clifford projection, Pauli twirling."""
+
+from .model import NoiseModel
+from .clifford_model import CliffordNoiseModel, sample_noisy_energy
+from .twirling import (
+    pauli_channel_attenuation,
+    pauli_twirl_probabilities,
+    twirled_relaxation_probabilities,
+)
+
+__all__ = [
+    "CliffordNoiseModel", "NoiseModel", "pauli_channel_attenuation",
+    "pauli_twirl_probabilities", "sample_noisy_energy",
+    "twirled_relaxation_probabilities",
+]

@@ -1,0 +1,68 @@
+"""Pauli twirling: project arbitrary channels onto Pauli channels.
+
+The Clifford noise model can only represent Pauli (stochastic) channels.
+Thermal relaxation is not one -- amplitude damping has coherent Kraus
+structure -- but its *Pauli twirl* is, and is the standard classically
+simulable surrogate.  The paper's stim model omits relaxation entirely
+(Clapton instead counteracts it structurally by transforming toward |0>);
+we expose the twirled variant as an optional extension so its contribution
+can be measured in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..paulis.pauli import PAULI_MATRICES
+
+
+def pauli_twirl_probabilities(kraus: Sequence[np.ndarray]) -> np.ndarray:
+    """Probabilities ``(p_I, p_X, p_Y, p_Z)`` of the twirled 1-qubit channel.
+
+    For a channel with Kraus set {K}, the Pauli-twirled channel applies Pauli
+    ``sigma`` with probability ``p_sigma = sum_K |tr(sigma K) / 2|^2``.
+    """
+    probs = []
+    for label in "IXYZ":
+        sigma = PAULI_MATRICES[label]
+        probs.append(sum(abs(np.trace(sigma @ k) / 2.0) ** 2 for k in kraus))
+    probs = np.asarray(probs, dtype=float)
+    if not math.isclose(probs.sum(), 1.0, abs_tol=1e-9):
+        raise ValueError("twirled probabilities do not sum to 1 "
+                         "(channel not trace preserving?)")
+    return probs
+
+
+def twirled_relaxation_probabilities(duration: float, t1: float, t2: float
+                                     ) -> np.ndarray:
+    """Twirl of the thermal-relaxation channel over ``duration``.
+
+    Closed form: with ``gamma = 1 - exp(-t/T1)`` and off-diagonal factor
+    ``eta = exp(-t/T2)``,
+
+        p_X = p_Y = gamma / 4
+        p_Z = (1 - gamma/2) / 2 - eta / 2
+        p_I = 1 - p_X - p_Y - p_Z
+    """
+    from ..densesim.channels import thermal_relaxation_kraus
+
+    return pauli_twirl_probabilities(thermal_relaxation_kraus(duration, t1, t2))
+
+
+def pauli_channel_attenuation(probs: np.ndarray) -> np.ndarray:
+    """Heisenberg-picture attenuation of ``(I, X, Y, Z)`` observables.
+
+    A Pauli channel is diagonal in the Pauli basis: an observable ``W`` is
+    scaled by ``sum_sigma p_sigma * (-1)^{[sigma, W]}``.  Returns the four
+    factors for ``W in (I, X, Y, Z)`` (the identity factor is always 1).
+    """
+    p_i, p_x, p_y, p_z = probs
+    return np.array([
+        1.0,
+        p_i + p_x - p_y - p_z,
+        p_i - p_x + p_y - p_z,
+        p_i - p_x - p_y + p_z,
+    ])

@@ -1,0 +1,162 @@
+"""Integer-genome genetic algorithm (the package's PyGAD substitute).
+
+Clapton and the CAFQA baselines search discrete spaces ``{0,1,2,3}^d``
+(Sec. 4.1): genomes are integer vectors, fitness is the negated loss.  The
+operator set matches what the paper's PyGAD configuration provides:
+tournament selection, uniform crossover, per-gene random-reset mutation, and
+elitism.  Loss evaluations are memoised because converging populations
+re-propose identical genomes constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class GAConfig:
+    """Hyperparameters of one GA instance.
+
+    Defaults follow the paper's working point (population |S| = 100); the
+    generation count is supplied by the engine (its ``m``).
+    """
+
+    population_size: int = 100
+    num_generations: int = 100
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float | None = None  # default: 1.5 / genome_length
+    elite_count: int = 2
+
+
+@dataclass
+class GAResult:
+    """Final state of a GA run, sorted best-first."""
+
+    population: np.ndarray
+    losses: np.ndarray
+    best_genome: np.ndarray
+    best_loss: float
+    history: list[float] = field(default_factory=list)
+    num_evaluations: int = 0
+
+
+class GeneticAlgorithm:
+    """Minimize ``loss_fn`` over integer genomes.
+
+    Args:
+        loss_fn: Maps a genome (1-D int array) to a float loss.
+        genome_length: Number of genes.
+        num_values: Genes take values ``0..num_values-1`` (4 throughout the
+            paper: Clifford rotation levels / two-qubit slot choices).
+        config: Hyperparameters.
+        rng: Random generator (owned by the caller for reproducibility).
+        cache: Optional shared memo table ``genome-bytes -> loss`` so that
+            multiple GA instances in the engine never re-evaluate a genome.
+    """
+
+    def __init__(self, loss_fn: Callable[[np.ndarray], float],
+                 genome_length: int, num_values: int = 4,
+                 config: GAConfig | None = None,
+                 rng: np.random.Generator | None = None,
+                 cache: dict[bytes, float] | None = None):
+        if genome_length < 1:
+            raise ValueError("genome_length must be positive")
+        self.loss_fn = loss_fn
+        self.genome_length = genome_length
+        self.num_values = num_values
+        self.config = config or GAConfig()
+        self.rng = rng or np.random.default_rng()
+        self.cache = cache if cache is not None else {}
+        self.num_evaluations = 0
+        rate = self.config.mutation_rate
+        self._mutation_rate = (min(1.0, 1.5 / genome_length)
+                               if rate is None else rate)
+
+    # ------------------------------------------------------------------
+    # Population utilities
+    # ------------------------------------------------------------------
+    def random_population(self, size: int) -> np.ndarray:
+        return self.rng.integers(0, self.num_values,
+                                 size=(size, self.genome_length))
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        key = np.ascontiguousarray(genome, dtype=np.int64).tobytes()
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        value = float(self.loss_fn(genome))
+        self.cache[key] = value
+        self.num_evaluations += 1
+        return value
+
+    def _evaluate_population(self, population: np.ndarray) -> np.ndarray:
+        return np.array([self.evaluate(g) for g in population])
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _tournament_pick(self, losses: np.ndarray) -> int:
+        contenders = self.rng.integers(0, len(losses),
+                                       size=self.config.tournament_size)
+        return int(contenders[np.argmin(losses[contenders])])
+
+    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray
+                   ) -> np.ndarray:
+        if self.rng.random() >= self.config.crossover_rate:
+            return parent_a.copy()
+        mask = self.rng.random(self.genome_length) < 0.5
+        child = np.where(mask, parent_a, parent_b)
+        return child
+
+    def _mutate(self, genome: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(self.genome_length) < self._mutation_rate
+        if mask.any():
+            genome = genome.copy()
+            genome[mask] = self.rng.integers(0, self.num_values,
+                                             size=int(mask.sum()))
+        return genome
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, initial_population: np.ndarray | None = None) -> GAResult:
+        cfg = self.config
+        if initial_population is None:
+            population = self.random_population(cfg.population_size)
+        else:
+            population = np.asarray(initial_population, dtype=np.int64)
+            if population.ndim != 2 or population.shape[1] != self.genome_length:
+                raise ValueError("initial population has wrong shape")
+            if len(population) < cfg.population_size:
+                filler = self.random_population(
+                    cfg.population_size - len(population))
+                population = np.vstack([population, filler])
+        losses = self._evaluate_population(population)
+        history = [float(losses.min())]
+
+        for _ in range(cfg.num_generations):
+            order = np.argsort(losses)
+            population = population[order]
+            losses = losses[order]
+            next_population = [population[i].copy()
+                               for i in range(cfg.elite_count)]
+            while len(next_population) < cfg.population_size:
+                pa = population[self._tournament_pick(losses)]
+                pb = population[self._tournament_pick(losses)]
+                child = self._mutate(self._crossover(pa, pb))
+                next_population.append(child)
+            population = np.array(next_population)
+            losses = self._evaluate_population(population)
+            history.append(min(history[-1], float(losses.min())))
+
+        order = np.argsort(losses)
+        population = population[order]
+        losses = losses[order]
+        return GAResult(population=population, losses=losses,
+                        best_genome=population[0].copy(),
+                        best_loss=float(losses[0]), history=history,
+                        num_evaluations=self.num_evaluations)

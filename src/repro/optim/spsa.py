@@ -1,0 +1,120 @@
+"""Simultaneous Perturbation Stochastic Approximation (Spall 1998).
+
+The classical optimizer of the paper's online VQE phase (Sec. 5.2): each
+iteration estimates the gradient from exactly two loss evaluations at a
+random simultaneous perturbation, making it robust to the sampling noise of
+quantum energy estimates.  Gain schedules and the initial-step calibration
+follow the common (Qiskit-style) practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class SPSAConfig:
+    """Gain schedule ``a_k = a / (k + 1 + A)^alpha``, ``c_k = c / (k + 1)^gamma``."""
+
+    maxiter: int = 300
+    a: float | None = None        # calibrated from the loss when None
+    c: float = 0.1
+    alpha: float = 0.602
+    gamma: float = 0.101
+    stability_constant: float | None = None  # A; default maxiter / 10
+    target_first_step: float = 0.2
+    calibration_samples: int = 10
+    bounds: tuple[float, float] | None = None
+    seed: int | None = None
+    #: trust region: per-iteration update clipped to this infinity norm.
+    #: Guards against exploding calibrated gains when the starting point is
+    #: nearly stationary (exactly the situation good initializations create:
+    #: gradients at a Clifford optimum are tiny, so 1/|g| calibration would
+    #: otherwise produce catastrophic first steps).  ``None`` disables.
+    max_step_size: float | None = 0.3
+    #: lower bound on the gradient magnitude used by the gain calibration.
+    #: A well-initialized VQE starts near a stationary point where measured
+    #: gradients say nothing about the landscape's curvature scale; without
+    #: a floor the calibrated learning rate is inversely proportional to
+    #: noise.  Units: loss change per radian.
+    calibration_gradient_floor: float = 1.0
+
+
+@dataclass
+class SPSAResult:
+    x: np.ndarray
+    loss: float
+    history: list[float] = field(default_factory=list)
+    num_evaluations: int = 0
+
+
+def minimize_spsa(loss_fn: Callable[[np.ndarray], float], x0: np.ndarray,
+                  config: SPSAConfig | None = None,
+                  callback: Callable[[int, np.ndarray, float], None] | None = None
+                  ) -> SPSAResult:
+    """Minimize a noisy loss with SPSA.
+
+    Args:
+        loss_fn: Possibly stochastic objective.
+        x0: Starting parameters (the initialization whose quality the whole
+            paper is about).
+        config: Hyperparameters.
+        callback: Called as ``callback(iteration, x, loss_estimate)`` each
+            iteration; the loss estimate is the mean of the two perturbed
+            evaluations (the standard convergence-trace proxy, avoiding a
+            third evaluation per step).
+    """
+    cfg = config or SPSAConfig()
+    rng = np.random.default_rng(cfg.seed)
+    x = np.asarray(x0, dtype=float).copy()
+    dim = len(x)
+    big_a = (cfg.stability_constant if cfg.stability_constant is not None
+             else 0.1 * cfg.maxiter)
+    evaluations = 0
+
+    def evaluate(point: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return float(loss_fn(point))
+
+    a = cfg.a
+    if a is None:
+        # Calibrate so the very first update step has the target magnitude,
+        # using a handful of gradient-magnitude probes at x0.
+        magnitudes = []
+        for _ in range(cfg.calibration_samples):
+            delta = rng.choice([-1.0, 1.0], size=dim)
+            g = (evaluate(x + cfg.c * delta) - evaluate(x - cfg.c * delta)) \
+                / (2 * cfg.c)
+            magnitudes.append(abs(g))
+        mean_mag = float(np.mean(magnitudes))
+        a = (cfg.target_first_step * (big_a + 1) ** cfg.alpha
+             / max(mean_mag, cfg.calibration_gradient_floor, 1e-10))
+
+    history: list[float] = []
+    for k in range(cfg.maxiter):
+        ak = a / (k + 1 + big_a) ** cfg.alpha
+        ck = cfg.c / (k + 1) ** cfg.gamma
+        delta = rng.choice([-1.0, 1.0], size=dim)
+        loss_plus = evaluate(x + ck * delta)
+        loss_minus = evaluate(x - ck * delta)
+        gradient = (loss_plus - loss_minus) / (2 * ck) * delta
+        update = ak * gradient
+        if cfg.max_step_size is not None:
+            largest = float(np.abs(update).max())
+            if largest > cfg.max_step_size:
+                update = update * (cfg.max_step_size / largest)
+        x = x - update
+        if cfg.bounds is not None:
+            x = np.clip(x, cfg.bounds[0], cfg.bounds[1])
+        estimate = 0.5 * (loss_plus + loss_minus)
+        history.append(estimate)
+        if callback is not None:
+            callback(k, x, estimate)
+
+    final_loss = evaluate(x)
+    return SPSAResult(x=x, loss=final_loss, history=history,
+                      num_evaluations=evaluations)

@@ -1,0 +1,258 @@
+"""Single Pauli strings in symplectic (binary) representation.
+
+A Pauli string on ``n`` qubits is stored as two boolean vectors ``x`` and
+``z`` together with a phase exponent ``q`` (mod 4), encoding the operator
+
+    P = (-i)**q  *  (Z_0**z0 ... Z_{n-1}**z_{n-1}) (X_0**x0 ... X_{n-1}**x_{n-1})
+
+This is the standard symplectic convention (also used by Qiskit's
+``quantum_info`` and by stim internally).  A *canonical* Pauli string -- a
+plain tensor product of I/X/Y/Z with a real sign -- has phase exponent
+``q = (number of Y factors) + 2 * (0 or 1)`` because ``Y = -i Z X``.
+
+The symplectic form makes multiplication, commutation checks, and Clifford
+conjugation O(n) bit operations, which is what lets Clapton conjugate
+Hamiltonians with hundreds of terms through circuits cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+# Canonical single-qubit Pauli matrices, used for dense cross-checks in tests
+# and for building Clifford tableaus from gate unitaries.
+PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_LABEL_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_LABEL = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+_PHASE_FACTORS = (1, -1j, -1, 1j)  # (-i)**q for q = 0, 1, 2, 3
+
+
+class PauliString:
+    """An n-qubit Pauli operator with phase, e.g. ``-X0 Z2 Y3``.
+
+    Instances are immutable by convention: methods return new objects and the
+    underlying arrays should not be mutated by callers.
+
+    Args:
+        x: Boolean array of X-components, one entry per qubit.
+        z: Boolean array of Z-components, one entry per qubit.
+        phase_exp: Phase exponent ``q`` (mod 4) in the ``(-i)**q Z^z X^x``
+            convention.  Defaults to the canonical phase of the unsigned
+            tensor product (i.e. one factor of ``-i`` per Y so the overall
+            sign is +1).
+    """
+
+    __slots__ = ("x", "z", "phase_exp")
+
+    def __init__(self, x, z, phase_exp: int | None = None):
+        self.x = np.asarray(x, dtype=bool)
+        self.z = np.asarray(z, dtype=bool)
+        if self.x.shape != self.z.shape or self.x.ndim != 1:
+            raise ValueError("x and z must be 1-D boolean arrays of equal length")
+        if phase_exp is None:
+            phase_exp = int(np.count_nonzero(self.x & self.z))
+        self.phase_exp = int(phase_exp) % 4
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The identity operator on ``num_qubits`` qubits."""
+        zeros = np.zeros(num_qubits, dtype=bool)
+        return cls(zeros, zeros.copy(), 0)
+
+    @classmethod
+    def from_label(cls, label: str) -> "PauliString":
+        """Parse a label such as ``"XIZY"``, ``"-XZ"`` or ``"+IZ"``.
+
+        Qubit 0 is the *leftmost* character (little-endian in qubit index,
+        matching the order used throughout this package).
+        """
+        sign = 1
+        body = label
+        if body.startswith("+"):
+            body = body[1:]
+        elif body.startswith("-"):
+            sign = -1
+            body = body[1:]
+        x = np.zeros(len(body), dtype=bool)
+        z = np.zeros(len(body), dtype=bool)
+        for k, ch in enumerate(body):
+            if ch not in _LABEL_TO_XZ:
+                raise ValueError(f"invalid Pauli character {ch!r} in {label!r}")
+            x[k], z[k] = _LABEL_TO_XZ[ch]
+        q = int(np.count_nonzero(x & z))
+        if sign == -1:
+            q = (q + 2) % 4
+        return cls(x, z, q)
+
+    @classmethod
+    def from_sparse(cls, factors: Mapping[int, str], num_qubits: int,
+                    sign: int = 1) -> "PauliString":
+        """Build from a ``{qubit_index: "X"|"Y"|"Z"}`` mapping.
+
+        Example: ``PauliString.from_sparse({0: "X", 3: "Z"}, 5)`` is
+        ``X0 Z3`` on five qubits.
+        """
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        for qubit, ch in factors.items():
+            if not 0 <= qubit < num_qubits:
+                raise ValueError(f"qubit index {qubit} out of range")
+            if ch == "I":
+                continue
+            x[qubit], z[qubit] = _LABEL_TO_XZ[ch]
+        q = int(np.count_nonzero(x & z))
+        if sign == -1:
+            q = (q + 2) % 4
+        elif sign != 1:
+            raise ValueError("sign must be +1 or -1")
+        return cls(x, z, q)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.x)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices of qubits on which this Pauli acts non-trivially."""
+        return np.flatnonzero(self.x | self.z)
+
+    @property
+    def phase(self) -> complex:
+        """The full phase factor ``(-i)**q`` (may be imaginary)."""
+        return _PHASE_FACTORS[self.phase_exp]
+
+    @property
+    def sign(self) -> int:
+        """The real sign of the canonical form ``sign * (tensor of I/X/Y/Z)``.
+
+        Raises:
+            ValueError: if the phase is imaginary (the operator is ``+-i P``
+                for a canonical Pauli ``P``), which never happens for
+                Hermitian operators such as Clifford conjugates of signed
+                Paulis.
+        """
+        q_canonical = int(np.count_nonzero(self.x & self.z))
+        rel = (self.phase_exp - q_canonical) % 4
+        if rel == 0:
+            return 1
+        if rel == 2:
+            return -1
+        raise ValueError("Pauli has imaginary phase; no real sign exists")
+
+    @property
+    def is_identity(self) -> bool:
+        return not (self.x.any() or self.z.any())
+
+    @property
+    def is_z_type(self) -> bool:
+        """True when the operator is diagonal (a product of I and Z only).
+
+        Z-type Paulis are exactly the ones with non-zero expectation in the
+        all-zeros state: ``<0|P|0> = sign`` for Z-type, 0 otherwise.
+        """
+        return not self.x.any()
+
+    def expectation_all_zeros(self) -> float:
+        """``<0...0| P |0...0>`` -- the quantity Clapton's L0 cost sums."""
+        if self.x.any():
+            return 0.0
+        return float(self.sign)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Whether the two Paulis commute (via the symplectic inner product)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        overlap = np.count_nonzero(self.x & other.z) + np.count_nonzero(self.z & other.x)
+        return overlap % 2 == 0
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Operator product ``self @ other`` with exact phase tracking.
+
+        Using ``X^a Z^b = (-1)^{a.b} Z^b X^a`` to move ``other``'s Z block
+        past ``self``'s X block gives the phase rule
+        ``q = q1 + q2 + 2 * |x1 & z2|  (mod 4)``.
+        """
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        q = (self.phase_exp + other.phase_exp
+             + 2 * int(np.count_nonzero(self.x & other.z))) % 4
+        return PauliString(self.x ^ other.x, self.z ^ other.z, q)
+
+    def __neg__(self) -> "PauliString":
+        return PauliString(self.x.copy(), self.z.copy(), (self.phase_exp + 2) % 4)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (self.phase_exp == other.phase_exp
+                and np.array_equal(self.x, other.x)
+                and np.array_equal(self.z, other.z))
+
+    def __hash__(self) -> int:
+        return hash((self.phase_exp, self.x.tobytes(), self.z.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_label(self, with_sign: bool = True) -> str:
+        """Canonical label such as ``"-XIZY"`` (qubit 0 leftmost)."""
+        body = "".join(_XZ_TO_LABEL[(int(a), int(b))]
+                       for a, b in zip(self.x, self.z))
+        if not with_sign:
+            return body
+        return ("-" if self.sign == -1 else "") + body
+
+    def bare(self) -> "PauliString":
+        """The same Pauli with its sign/phase reset to +1 (canonical)."""
+        return PauliString(self.x.copy(), self.z.copy(), None)
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix; only use for small ``n`` (tests)."""
+        mat = np.array([[complex(self.phase * 1j ** int(np.count_nonzero(self.x & self.z)))]])
+        # phase * i^{#Y} converts (-i)^q Z^z X^x to sign * tensor(I/X/Y/Z)
+        result = np.array([[1.0 + 0j]])
+        for a, b in zip(self.x, self.z):
+            result = np.kron(result, PAULI_MATRICES[_XZ_TO_LABEL[(int(a), int(b))]])
+        return mat[0, 0] * result
+
+    def __repr__(self) -> str:
+        try:
+            return f"PauliString({self.to_label()!r})"
+        except ValueError:
+            return (f"PauliString(x={self.x.astype(int)}, z={self.z.astype(int)}, "
+                    f"q={self.phase_exp})")
+
+
+def random_pauli(num_qubits: int, rng: np.random.Generator,
+                 allow_sign: bool = True) -> PauliString:
+    """Uniformly random canonical Pauli string (optionally with random sign)."""
+    codes = rng.integers(0, 4, size=num_qubits)
+    x = (codes == 1) | (codes == 2)
+    z = (codes == 2) | (codes == 3)
+    q = int(np.count_nonzero(x & z))
+    if allow_sign and rng.integers(0, 2) == 1:
+        q = (q + 2) % 4
+    return PauliString(x, z, q)

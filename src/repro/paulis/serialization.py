@@ -1,0 +1,57 @@
+"""JSON (de)serialization for Pauli operators and Hamiltonians.
+
+Chemistry Hamiltonians take seconds to rebuild (integrals + RHF + mapping);
+sweep harnesses and downstream users cache them on disk.  The format is a
+plain JSON object -- version-tagged, human-inspectable, and stable across
+package versions:
+
+    {"format": "repro-pauli-sum", "version": 1, "num_qubits": 10,
+     "terms": [[-7.4989, "IIIIIIIIII"], [0.0571, "ZIIIIIIIII"], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .pauli_sum import PauliSum
+
+_FORMAT = "repro-pauli-sum"
+_VERSION = 1
+
+
+def pauli_sum_to_dict(hamiltonian: PauliSum) -> dict:
+    """Plain-dict form of a Hamiltonian (labels carry no signs)."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "num_qubits": hamiltonian.num_qubits,
+        "terms": [[float(c), p.to_label(with_sign=False)]
+                  for c, p in hamiltonian.terms()],
+    }
+
+
+def pauli_sum_from_dict(payload: dict) -> PauliSum:
+    """Inverse of :func:`pauli_sum_to_dict` with format validation."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError("not a repro-pauli-sum payload")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    terms = payload["terms"]
+    if not terms:
+        raise ValueError("payload has no terms")
+    num_qubits = payload["num_qubits"]
+    for _, label in terms:
+        if len(label) != num_qubits:
+            raise ValueError("term label width does not match num_qubits")
+    return PauliSum.from_terms([(float(c), label) for c, label in terms])
+
+
+def save_pauli_sum(hamiltonian: PauliSum, path: str | Path) -> None:
+    """Write a Hamiltonian to a JSON file."""
+    Path(path).write_text(json.dumps(pauli_sum_to_dict(hamiltonian)))
+
+
+def load_pauli_sum(path: str | Path) -> PauliSum:
+    """Read a Hamiltonian from a JSON file."""
+    return pauli_sum_from_dict(json.loads(Path(path).read_text()))

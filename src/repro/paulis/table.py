@@ -1,0 +1,146 @@
+"""Batched Pauli storage: many Pauli strings as bit matrices.
+
+``PauliTable`` holds M Pauli strings on n qubits as two ``(M, n)`` boolean
+matrices plus an ``(M,)`` phase-exponent vector, in the same
+``(-i)**q Z^z X^x`` convention as :class:`~repro.paulis.pauli.PauliString`.
+
+All of Clapton's hot loops -- conjugating every Hamiltonian term through a
+candidate Clifford circuit, evaluating noise attenuation per term -- operate
+on tables so that the work per gate is a handful of vectorized numpy
+operations over all M terms at once rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .pauli import PauliString
+
+
+class PauliTable:
+    """A mutable batch of M Pauli strings on n qubits.
+
+    Unlike :class:`PauliString`, tables are mutated in place by the Clifford
+    conjugation routines (:mod:`repro.stabilizer.tableau`) for speed; use
+    :meth:`copy` when the original must be preserved.
+
+    Args:
+        x: ``(M, n)`` boolean matrix of X components.
+        z: ``(M, n)`` boolean matrix of Z components.
+        phase_exp: ``(M,)`` integer vector of phase exponents (mod 4).
+    """
+
+    __slots__ = ("x", "z", "phase_exp")
+
+    def __init__(self, x, z, phase_exp=None):
+        self.x = np.ascontiguousarray(x, dtype=bool)
+        self.z = np.ascontiguousarray(z, dtype=bool)
+        if self.x.shape != self.z.shape or self.x.ndim != 2:
+            raise ValueError("x and z must be (M, n) boolean matrices of equal shape")
+        if phase_exp is None:
+            phase_exp = np.count_nonzero(self.x & self.z, axis=1)
+        self.phase_exp = np.asarray(phase_exp, dtype=np.int64) % 4
+        if self.phase_exp.shape != (self.x.shape[0],):
+            raise ValueError("phase_exp must have one entry per row")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paulis(cls, paulis: Sequence[PauliString]) -> "PauliTable":
+        if not paulis:
+            raise ValueError("need at least one Pauli")
+        n = paulis[0].num_qubits
+        if any(p.num_qubits != n for p in paulis):
+            raise ValueError("all Paulis must act on the same number of qubits")
+        x = np.stack([p.x for p in paulis])
+        z = np.stack([p.z for p in paulis])
+        q = np.array([p.phase_exp for p in paulis], dtype=np.int64)
+        return cls(x, z, q)
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[str]) -> "PauliTable":
+        return cls.from_paulis([PauliString.from_label(s) for s in labels])
+
+    @classmethod
+    def identity(cls, num_rows: int, num_qubits: int) -> "PauliTable":
+        shape = (num_rows, num_qubits)
+        return cls(np.zeros(shape, dtype=bool), np.zeros(shape, dtype=bool),
+                   np.zeros(num_rows, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Views and conversions
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return self.x.shape[1]
+
+    def copy(self) -> "PauliTable":
+        return PauliTable(self.x.copy(), self.z.copy(), self.phase_exp.copy())
+
+    def row(self, i: int) -> PauliString:
+        return PauliString(self.x[i].copy(), self.z[i].copy(), int(self.phase_exp[i]))
+
+    def to_paulis(self) -> list[PauliString]:
+        return [self.row(i) for i in range(self.num_rows)]
+
+    # ------------------------------------------------------------------
+    # Batched queries used by the Clapton losses
+    # ------------------------------------------------------------------
+    def signs(self) -> np.ndarray:
+        """Real sign (+-1) of every row's canonical form.
+
+        Raises:
+            ValueError: if any row has an imaginary phase.
+        """
+        q_canonical = np.count_nonzero(self.x & self.z, axis=1)
+        rel = (self.phase_exp - q_canonical) % 4
+        if np.any(rel % 2):
+            raise ValueError("table contains rows with imaginary phase")
+        return np.where(rel == 0, 1.0, -1.0)
+
+    def z_type_mask(self) -> np.ndarray:
+        """Boolean mask of rows that are diagonal (no X component)."""
+        return ~self.x.any(axis=1)
+
+    def expectation_all_zeros(self) -> np.ndarray:
+        """``<0|P_i|0>`` for every row: ``sign`` for Z-type rows, else 0."""
+        mask = self.z_type_mask()
+        out = np.zeros(self.num_rows)
+        if mask.any():
+            sub = PauliTable(self.x[mask], self.z[mask], self.phase_exp[mask])
+            out[mask] = sub.signs()
+        return out
+
+    def weights(self) -> np.ndarray:
+        """Pauli weight (non-identity factor count) of every row."""
+        return np.count_nonzero(self.x | self.z, axis=1)
+
+    def supports_mask(self) -> np.ndarray:
+        """``(M, n)`` boolean matrix: True where a row touches a qubit."""
+        return self.x | self.z
+
+    # ------------------------------------------------------------------
+    # In-place batched multiplication (the workhorse of conjugation)
+    # ------------------------------------------------------------------
+    def mul_pauli_on_rows(self, mask: np.ndarray, other: PauliString) -> None:
+        """In place, replace ``row <- row * other`` for every row in ``mask``.
+
+        Phase rule (see :meth:`PauliString.__mul__`):
+        ``q += q_other + 2 * |x_row & z_other|``.
+        """
+        if not mask.any():
+            return
+        extra = np.count_nonzero(self.x[mask] & other.z[None, :], axis=1)
+        self.phase_exp[mask] = (self.phase_exp[mask] + other.phase_exp + 2 * extra) % 4
+        self.x[mask] ^= other.x[None, :]
+        self.z[mask] ^= other.z[None, :]
+
+    def __repr__(self) -> str:
+        return f"PauliTable(num_rows={self.num_rows}, num_qubits={self.num_qubits})"

@@ -1,0 +1,16 @@
+"""Clifford tableaus and the CHP stabilizer simulator (stim substitute)."""
+
+from .tableau import (
+    CliffordTableau,
+    apply_gate_to_table,
+    conjugate_pauli_sum,
+    gate_tableau,
+    tableau_from_unitary,
+)
+from .simulator import StabilizerSimulator, clifford_state_expectation
+
+__all__ = [
+    "CliffordTableau", "StabilizerSimulator", "apply_gate_to_table",
+    "clifford_state_expectation", "conjugate_pauli_sum", "gate_tableau",
+    "tableau_from_unitary",
+]

@@ -1,0 +1,65 @@
+"""Random Clifford operations (for twirling, testing, and benchmarking).
+
+Samples random Clifford *circuits* from the package's native gate set.  A
+gate-count of O(n^2) mixes the symplectic group well for the practical
+purposes here (randomized testing, noise twirling experiments); exact
+uniform sampling a la Bravyi-Maslov is not required by any consumer and is
+intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .tableau import CliffordTableau
+
+#: single-qubit Clifford generators available to the sampler.
+ONE_QUBIT_GATES = ("i", "x", "y", "z", "h", "s", "sdg", "sx", "sxdg")
+TWO_QUBIT_GATES = ("cx", "cz", "swap")
+
+
+def random_clifford_circuit(num_qubits: int, rng: np.random.Generator,
+                            depth: int | None = None,
+                            two_qubit_probability: float = 0.5) -> Circuit:
+    """Random Clifford circuit over the native gate set.
+
+    Args:
+        num_qubits: Register width.
+        rng: Source of randomness (caller-owned for reproducibility).
+        depth: Gate count; defaults to ``3 n log2(n+1)`` (enough mixing for
+            testing purposes).
+        two_qubit_probability: Chance of drawing a two-qubit gate per slot
+            (ignored for one qubit).
+    """
+    if depth is None:
+        depth = max(1, int(3 * num_qubits * math.log2(num_qubits + 1)))
+    circ = Circuit(num_qubits)
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < two_qubit_probability:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            name = TWO_QUBIT_GATES[rng.integers(0, len(TWO_QUBIT_GATES))]
+            circ.append(name, [int(a), int(b)])
+        else:
+            name = ONE_QUBIT_GATES[rng.integers(0, len(ONE_QUBIT_GATES))]
+            circ.append(name, [int(rng.integers(0, num_qubits))])
+    return circ
+
+
+def random_clifford_tableau(num_qubits: int, rng: np.random.Generator,
+                            depth: int | None = None) -> CliffordTableau:
+    """Tableau of a random Clifford circuit."""
+    return CliffordTableau.from_circuit(
+        random_clifford_circuit(num_qubits, rng, depth))
+
+
+def random_pauli_frame(num_qubits: int, rng: np.random.Generator) -> Circuit:
+    """Uniformly random Pauli layer (the frames used for Pauli twirling)."""
+    circ = Circuit(num_qubits)
+    for q in range(num_qubits):
+        name = ("i", "x", "y", "z")[rng.integers(0, 4)]
+        if name != "i":
+            circ.append(name, [q])
+    return circ

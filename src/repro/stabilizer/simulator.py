@@ -1,0 +1,169 @@
+"""CHP-style stabilizer simulator (Aaronson-Gottesman).
+
+This is the package's stand-in for stim's simulation core: it tracks a
+stabilizer state as 2n phase-signed Pauli rows (n destabilizers, n
+stabilizers), applies Clifford gates by conjugating all rows at once, and
+supports Z-basis measurement and exact Pauli expectation values.
+
+Expectation values are what Clapton's losses consume: for a stabilizer state
+``|psi>`` and Pauli ``P``, ``<psi|P|psi>`` is 0 when ``P`` anticommutes with
+any stabilizer generator and otherwise ``+-1``, with the sign recovered by
+expressing ``P`` as a product of generators via the destabilizer pairing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..paulis.pauli import PauliString
+from ..paulis.table import PauliTable
+from .tableau import apply_gate_to_table, gate_tableau
+
+
+class StabilizerSimulator:
+    """A stabilizer state on ``num_qubits`` qubits, initially ``|0...0>``.
+
+    Rows ``0..n-1`` of :attr:`rows` are destabilizers (initially ``X_k``),
+    rows ``n..2n-1`` stabilizers (initially ``Z_k``).
+    """
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = int(num_qubits)
+        self.reset()
+
+    def reset(self) -> None:
+        n = self.num_qubits
+        x = np.zeros((2 * n, n), dtype=bool)
+        z = np.zeros_like(x)
+        idx = np.arange(n)
+        x[idx, idx] = True
+        z[n + idx, idx] = True
+        self.rows = PauliTable(x, z)
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def apply_gate(self, name: str, qubits, params: tuple = ()) -> None:
+        gate = gate_tableau(name, tuple(float(p) for p in params))
+        apply_gate_to_table(self.rows, gate, tuple(qubits))
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("register size mismatch")
+        for inst in circuit.instructions:
+            self.apply_gate(inst.name, inst.qubits, inst.params)
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Apply a (stochastic-noise) Pauli: flips signs of anticommuting rows."""
+        anti = ((self.rows.x & pauli.z[None, :]).sum(axis=1)
+                + (self.rows.z & pauli.x[None, :]).sum(axis=1)) % 2
+        self.rows.phase_exp = (self.rows.phase_exp + 2 * anti) % 4
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure(self, qubit: int, rng: np.random.Generator) -> int:
+        """Measure ``qubit`` in the Z basis, collapsing the state."""
+        n = self.num_qubits
+        stab_x = self.rows.x[n:, qubit]
+        candidates = np.flatnonzero(stab_x)
+        if candidates.size:
+            p = int(candidates[0]) + n  # random outcome branch
+            pivot = self.rows.row(p)
+            others = np.flatnonzero(self.rows.x[:, qubit])
+            mask = np.zeros(2 * n, dtype=bool)
+            mask[others] = True
+            mask[p] = False
+            self.rows.mul_pauli_on_rows(mask, pivot)
+            # destabilizer p-n becomes the old stabilizer; stabilizer p
+            # becomes +-Z_qubit with a fair random sign.
+            self.rows.x[p - n] = pivot.x
+            self.rows.z[p - n] = pivot.z
+            self.rows.phase_exp[p - n] = pivot.phase_exp
+            outcome = int(rng.integers(0, 2))
+            self.rows.x[p] = False
+            self.rows.z[p] = False
+            self.rows.z[p, qubit] = True
+            self.rows.phase_exp[p] = 2 * outcome
+            return outcome
+        # Deterministic branch: Z_qubit is (up to sign) in the stabilizer
+        # group; accumulate the product of stabilizers paired with the
+        # destabilizers that anticommute with Z_qubit.
+        acc = PauliString.identity(n)
+        for i in range(n):
+            if self.rows.x[i, qubit]:
+                acc = acc * self.rows.row(n + i)
+        sign = acc.sign
+        return 0 if sign == 1 else 1
+
+    def measure_all(self, rng: np.random.Generator) -> np.ndarray:
+        return np.array([self.measure(q, rng) for q in range(self.num_qubits)])
+
+    # ------------------------------------------------------------------
+    # Expectation values
+    # ------------------------------------------------------------------
+    def expectation(self, pauli: PauliString) -> float:
+        """Exact ``<psi|P|psi>`` (0 or +-1) without collapsing the state."""
+        n = self.num_qubits
+        stab_x = self.rows.x[n:]
+        stab_z = self.rows.z[n:]
+        anti_stab = ((stab_x & pauli.z[None, :]).sum(axis=1)
+                     + (stab_z & pauli.x[None, :]).sum(axis=1)) % 2
+        if anti_stab.any():
+            return 0.0
+        destab_x = self.rows.x[:n]
+        destab_z = self.rows.z[:n]
+        anti_destab = ((destab_x & pauli.z[None, :]).sum(axis=1)
+                       + (destab_z & pauli.x[None, :]).sum(axis=1)) % 2
+        acc = PauliString.identity(n)
+        for i in np.flatnonzero(anti_destab):
+            acc = acc * self.rows.row(n + int(i))
+        # acc equals +-P; compare canonical signs and bodies.
+        if not (np.array_equal(acc.x, pauli.x) and np.array_equal(acc.z, pauli.z)):
+            raise AssertionError("destabilizer decomposition failed")
+        return float(acc.sign * pauli.sign)
+
+    def expectation_sum(self, hamiltonian) -> float:
+        """``<psi|H|psi>`` for a :class:`~repro.paulis.pauli_sum.PauliSum`."""
+        total = 0.0
+        for coeff, pauli in hamiltonian.terms():
+            total += coeff * self.expectation(pauli)
+        return total
+
+    def statevector(self) -> np.ndarray:
+        """Dense statevector (tests only; exponential in n).
+
+        Reconstructed by projecting ``|0...0>``-seeded random vector onto the
+        stabilizer group's +1 eigenspace via the group projector
+        ``prod_k (1 + S_k) / 2``.
+        """
+        n = self.num_qubits
+        dim = 2 ** n
+        projector = np.eye(dim, dtype=complex)
+        for i in range(n):
+            s = self.rows.row(n + i).to_matrix()
+            projector = projector @ (np.eye(dim) + s) / 2
+        # any column with non-zero norm is the state (rank-1 projector)
+        for col in range(dim):
+            vec = projector[:, col]
+            norm = np.linalg.norm(vec)
+            if norm > 1e-8:
+                vec = vec / norm
+                # fix global phase: make first non-zero amplitude real positive
+                first = vec[np.flatnonzero(np.abs(vec) > 1e-10)[0]]
+                return vec * (abs(first) / first)
+        raise AssertionError("stabilizer projector has no support")
+
+
+def clifford_state_expectation(circuit: Circuit, hamiltonian) -> float:
+    """``<0|C† H C|0>`` for a Clifford circuit ``C`` -- one tableau pass.
+
+    This is the noiseless path used by CAFQA's cost and Clapton's L0; it
+    anticonjugates all Hamiltonian terms at once instead of simulating.
+    """
+    from .tableau import CliffordTableau
+
+    tableau = CliffordTableau.from_circuit(circuit.inverse())
+    conjugated = tableau.conjugate_table(hamiltonian.table)
+    return float(hamiltonian.coefficients @ conjugated.expectation_all_zeros())

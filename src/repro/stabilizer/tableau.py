@@ -1,0 +1,253 @@
+"""Clifford tableaus: the conjugation engine behind Clapton.
+
+A Clifford operation ``C`` is fully described by the images of the symplectic
+generators, ``C X_k C†`` and ``C Z_k C†`` (Eq. 2 of the paper).  We store
+those 2n images as rows of a :class:`~repro.paulis.table.PauliTable` and
+conjugate arbitrary Pauli strings -- or whole Hamiltonians at once -- by
+multiplying out the relevant rows with exact phase tracking.
+
+Tableaus for individual gates are *derived from their unitaries* at import
+time (:func:`tableau_from_unitary`), so the gate library's dense matrices are
+the single source of truth and the symplectic rules cannot drift out of sync
+with the simulators.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import get_gate
+from ..paulis.pauli import PAULI_MATRICES, PauliString
+from ..paulis.table import PauliTable
+
+_PAULI_LABELS_1Q = ("I", "X", "Y", "Z")
+
+
+def _pauli_basis(num_qubits: int) -> list[tuple[str, np.ndarray]]:
+    basis = [("", np.array([[1.0 + 0j]]))]
+    for _ in range(num_qubits):
+        basis = [(lbl + p, np.kron(mat, PAULI_MATRICES[p]))
+                 for lbl, mat in basis for p in _PAULI_LABELS_1Q]
+    return basis
+
+
+def tableau_from_unitary(unitary: np.ndarray) -> "CliffordTableau":
+    """Build the tableau of a 1- or 2-qubit Clifford gate from its matrix.
+
+    The image of each generator ``P`` is found by expanding ``U P U†`` in the
+    Pauli basis and asserting the result is ``+-`` a single Pauli string.
+
+    Raises:
+        ValueError: if the unitary is not a Clifford operation.
+    """
+    dim = unitary.shape[0]
+    num_qubits = int(np.log2(dim))
+    if 2 ** num_qubits != dim or unitary.shape != (dim, dim):
+        raise ValueError("unitary must be 2^k x 2^k")
+    basis = _pauli_basis(num_qubits)
+    rows = []
+    generators = ([PauliString.from_sparse({k: "X"}, num_qubits) for k in range(num_qubits)]
+                  + [PauliString.from_sparse({k: "Z"}, num_qubits) for k in range(num_qubits)])
+    for gen in generators:
+        image = unitary @ gen.to_matrix() @ unitary.conj().T
+        rows.append(_match_signed_pauli(image, basis, num_qubits))
+    return CliffordTableau(PauliTable.from_paulis(rows))
+
+
+def _match_signed_pauli(matrix: np.ndarray, basis, num_qubits: int) -> PauliString:
+    dim = matrix.shape[0]
+    for label, pauli_mat in basis:
+        coeff = np.trace(pauli_mat.conj().T @ matrix) / dim
+        if abs(coeff) < 1e-9:
+            continue
+        if abs(coeff - 1) < 1e-9:
+            return PauliString.from_label(label or "I")
+        if abs(coeff + 1) < 1e-9:
+            return -PauliString.from_label(label or "I")
+        raise ValueError("matrix is not a Clifford conjugate of a Pauli")
+    raise ValueError("matrix has no Pauli component")
+
+
+class CliffordTableau:
+    """The conjugation table of an n-qubit Clifford operation.
+
+    Rows ``0..n-1`` are the images of ``X_k``; rows ``n..2n-1`` the images of
+    ``Z_k``.  The represented map is ``P -> C P C†``.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: PauliTable):
+        if rows.num_rows != 2 * rows.num_qubits:
+            raise ValueError("a tableau needs exactly 2n rows on n qubits")
+        self.rows = rows
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows.num_qubits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, num_qubits: int) -> "CliffordTableau":
+        x = np.zeros((2 * num_qubits, num_qubits), dtype=bool)
+        z = np.zeros_like(x)
+        idx = np.arange(num_qubits)
+        x[idx, idx] = True
+        z[num_qubits + idx, idx] = True
+        return cls(PauliTable(x, z))
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "CliffordTableau":
+        """Tableau of a bound Clifford circuit (raises if non-Clifford)."""
+        if not circuit.is_clifford():
+            raise ValueError("circuit is not Clifford")
+        tableau = cls.identity(circuit.num_qubits)
+        for inst in circuit.instructions:
+            gate = gate_tableau(inst.name, tuple(float(p) for p in inst.params))
+            apply_gate_to_table(tableau.rows, gate, inst.qubits)
+        return tableau
+
+    # ------------------------------------------------------------------
+    # Conjugation
+    # ------------------------------------------------------------------
+    def conjugate_table(self, table: PauliTable) -> PauliTable:
+        """Batched ``P -> C P C†`` for every row of ``table`` (new table).
+
+        Each input ``P = (-i)^q Z^z X^x`` maps to
+        ``(-i)^q * prod_k imgZ_k^{z_k} * prod_k imgX_k^{x_k}``; the products
+        are accumulated with exact Pauli multiplication, vectorized over all
+        input rows.
+        """
+        if table.num_qubits != self.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        n = self.num_qubits
+        acc = PauliTable.identity(table.num_rows, n)
+        acc.phase_exp = table.phase_exp.copy()
+        for k in range(n):
+            acc.mul_pauli_on_rows(table.z[:, k], self.rows.row(n + k))
+        for k in range(n):
+            acc.mul_pauli_on_rows(table.x[:, k], self.rows.row(k))
+        return acc
+
+    def conjugate_pauli(self, pauli: PauliString) -> PauliString:
+        table = PauliTable.from_paulis([pauli])
+        return self.conjugate_table(table).row(0)
+
+    def then(self, later: "CliffordTableau") -> "CliffordTableau":
+        """Tableau of ``later . self`` (run ``self`` first)."""
+        return CliffordTableau(later.conjugate_table(self.rows))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CliffordTableau):
+            return NotImplemented
+        return (np.array_equal(self.rows.x, other.rows.x)
+                and np.array_equal(self.rows.z, other.rows.z)
+                and np.array_equal(self.rows.phase_exp % 4, other.rows.phase_exp % 4))
+
+    def __repr__(self) -> str:
+        return f"CliffordTableau(num_qubits={self.num_qubits})"
+
+
+@lru_cache(maxsize=256)
+def gate_tableau(name: str, params: tuple = ()) -> CliffordTableau:
+    """Cached tableau of a named gate at given (Clifford) parameters."""
+    spec = get_gate(name)
+    if not spec.is_clifford(params):
+        raise ValueError(f"{name}{params} is not a Clifford gate")
+    return tableau_from_unitary(spec.matrix(params))
+
+
+#: code-lookup cache for small-gate conjugation; keys are ``id(gate)`` and
+#: the gate object is held strongly so ids can never be recycled.
+_LUT_CACHE: dict[int, tuple["CliffordTableau", np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _conjugation_lut(gate: CliffordTableau
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lookup tables mapping every input sub-Pauli code to its image.
+
+    A k-qubit sub-Pauli (k <= 2 here) is encoded as
+    ``sum_j (x_j + 2 z_j) * 4^j``; the tables give the image's x bits,
+    z bits, and phase-exponent increment for all 4^k codes at once, so
+    conjugating M rows costs a handful of integer gathers instead of four
+    masked row multiplications.
+    """
+    cached = _LUT_CACHE.get(id(gate))
+    if cached is not None:
+        return cached[1], cached[2], cached[3]
+    k = gate.num_qubits
+    size = 4 ** k
+    out_x = np.zeros((size, k), dtype=bool)
+    out_z = np.zeros((size, k), dtype=bool)
+    out_dq = np.zeros(size, dtype=np.int64)
+    for code in range(size):
+        x = np.array([(code >> (2 * j)) & 1 for j in range(k)], dtype=bool)
+        z = np.array([(code >> (2 * j + 1)) & 1 for j in range(k)], dtype=bool)
+        image = gate.conjugate_pauli(PauliString(x, z, 0))
+        out_x[code] = image.x
+        out_z[code] = image.z
+        out_dq[code] = image.phase_exp
+    if len(_LUT_CACHE) > 4096:
+        _LUT_CACHE.clear()
+    _LUT_CACHE[id(gate)] = (gate, out_x, out_z, out_dq)
+    return out_x, out_z, out_dq
+
+
+def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
+                        qubits: Sequence[int]) -> None:
+    """In place, conjugate every row of ``table`` by a small gate on ``qubits``.
+
+    The restriction of a row to ``qubits`` is a sub-Pauli with zero phase
+    exponent (operators on disjoint qubits commute), so only the sub-bits
+    change and the image's phase exponent adds to the row's global phase.
+    Dispatches through per-gate code lookup tables (see
+    :func:`_conjugation_lut`); the generic row-multiplication path is kept
+    for gates wider than the LUT supports.
+    """
+    qubits = list(qubits)
+    k = gate.num_qubits
+    if len(qubits) != k:
+        raise ValueError("gate arity does not match qubit list")
+    if k <= 2:
+        lut_x, lut_z, lut_dq = _conjugation_lut(gate)
+        codes = (table.x[:, qubits[0]] + 2 * table.z[:, qubits[0]].astype(np.int64))
+        if k == 2:
+            codes = codes + 4 * (table.x[:, qubits[1]]
+                                 + 2 * table.z[:, qubits[1]].astype(np.int64))
+        for j, q in enumerate(qubits):
+            table.x[:, q] = lut_x[codes, j]
+            table.z[:, q] = lut_z[codes, j]
+        table.phase_exp += lut_dq[codes]
+        table.phase_exp %= 4
+        return
+    subx = table.x[:, qubits]
+    subz = table.z[:, qubits]
+    acc = PauliTable.identity(table.num_rows, k)
+    for j in range(k):
+        acc.mul_pauli_on_rows(subz[:, j], gate.rows.row(k + j))
+    for j in range(k):
+        acc.mul_pauli_on_rows(subx[:, j], gate.rows.row(j))
+    table.x[:, qubits] = acc.x
+    table.z[:, qubits] = acc.z
+    table.phase_exp += acc.phase_exp
+    table.phase_exp %= 4
+
+
+def conjugate_pauli_sum(circuit: Circuit, hamiltonian) -> "PauliSum":
+    """``H -> C† H C`` -- the paper's anticonjugation (Eq. 6).
+
+    Implemented by building the tableau of the *inverse* circuit, so the
+    result is exactly the transformed Hamiltonian whose coefficients absorb
+    the conjugation signs.
+    """
+    from ..paulis.pauli_sum import PauliSum
+
+    tableau = CliffordTableau.from_circuit(circuit.inverse())
+    new_table = tableau.conjugate_table(hamiltonian.table)
+    return PauliSum(new_table, hamiltonian.coefficients.copy())

@@ -1,0 +1,11 @@
+"""Layout, routing, and the transpile pipeline."""
+
+from .layout import find_chain_layout, find_line_layout, path_score, trivial_layout
+from .routing import RoutingResult, decompose_swaps, route_circuit
+from .transpile import TranspileResult, embed_pauli_sum, transpile
+
+__all__ = [
+    "RoutingResult", "TranspileResult", "decompose_swaps", "embed_pauli_sum",
+    "find_chain_layout", "find_line_layout", "path_score", "route_circuit", "transpile",
+    "trivial_layout",
+]

@@ -1,0 +1,12 @@
+"""The online VQE phase: energy estimation (exact and counts-based), SPSA loop."""
+
+from .estimator import EnergyEstimator
+from .grouping import MeasurementGroup, group_qubit_wise_commuting, num_measurement_bases
+from .counts_estimator import CountsEnergyEstimator
+from .runner import VQETrace, run_vqe
+
+__all__ = [
+    "CountsEnergyEstimator", "EnergyEstimator", "MeasurementGroup",
+    "VQETrace", "group_qubit_wise_commuting", "num_measurement_bases",
+    "run_vqe",
+]

@@ -1,0 +1,6 @@
+"""Shared pytest configuration: register the `slow` marker."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: chemistry-pipeline tests that take a few seconds")

@@ -1,0 +1,256 @@
+"""Tests for the circuit IR, gate library, and ansatz constructions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CLIFFORD_ANGLES,
+    Circuit,
+    Parameter,
+    clapton_transformation_circuit,
+    embed_unitary,
+    entanglement_pairs,
+    get_gate,
+    hardware_efficient_ansatz,
+    ansatz_skeleton,
+    num_transformation_parameters,
+)
+from repro.circuits.gates import GATES
+
+
+class TestGates:
+    def test_all_static_gates_unitary(self):
+        for name, spec in GATES.items():
+            if spec.num_params:
+                continue
+            u = spec.matrix()
+            np.testing.assert_allclose(u @ u.conj().T, np.eye(u.shape[0]),
+                                       atol=1e-12, err_msg=name)
+
+    def test_rotations_unitary(self):
+        for name in ["rx", "ry", "rz"]:
+            u = get_gate(name).matrix((0.731,))
+            np.testing.assert_allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+
+    def test_clifford_detection(self):
+        assert get_gate("h").is_clifford()
+        assert get_gate("ry").is_clifford((math.pi / 2,))
+        assert get_gate("ry").is_clifford((0.0,))
+        assert not get_gate("ry").is_clifford((0.3,))
+
+    def test_sx_squares_to_x(self):
+        sx = get_gate("sx").matrix()
+        x = get_gate("x").matrix()
+        np.testing.assert_allclose(sx @ sx, x, atol=1e-12)
+
+    def test_s_sdg_inverse(self):
+        s, sdg = get_gate("s").matrix(), get_gate("sdg").matrix()
+        np.testing.assert_allclose(s @ sdg, np.eye(2), atol=1e-12)
+
+    def test_param_count_enforced(self):
+        with pytest.raises(ValueError):
+            get_gate("ry").matrix(())
+        with pytest.raises(ValueError):
+            get_gate("h").matrix((1.0,))
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            get_gate("toffoli")
+
+
+class TestEmbedUnitary:
+    def test_cx_orderings(self):
+        cx = get_gate("cx").matrix()
+        # control = qubit 0 (MSB): |10> -> |11>
+        full = embed_unitary(cx, (0, 1), 2)
+        np.testing.assert_allclose(full, cx)
+        # control = qubit 1: |01> -> |11>
+        flipped = embed_unitary(cx, (1, 0), 2)
+        expected = np.array([[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0],
+                             [0, 1, 0, 0]], dtype=complex)
+        np.testing.assert_allclose(flipped, expected)
+
+    def test_single_qubit_embedding(self):
+        x = get_gate("x").matrix()
+        full = embed_unitary(x, (1,), 2)
+        np.testing.assert_allclose(full, np.kron(np.eye(2), x))
+        full = embed_unitary(x, (0,), 2)
+        np.testing.assert_allclose(full, np.kron(x, np.eye(2)))
+
+    def test_nonadjacent_two_qubit(self):
+        cx = get_gate("cx").matrix()
+        full = embed_unitary(cx, (0, 2), 3)
+        # |100> -> |101>, |110> -> |111>, zero states fixed
+        state = np.zeros(8)
+        state[0b100] = 1.0
+        out = full @ state
+        assert out[0b101] == pytest.approx(1.0)
+
+    def test_embedding_is_unitary(self):
+        rng = np.random.default_rng(3)
+        mat = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        full = embed_unitary(mat, (3, 1), 4)
+        np.testing.assert_allclose(full @ full.conj().T, np.eye(16), atol=1e-10)
+
+
+class TestCircuit:
+    def test_build_and_count(self):
+        c = Circuit(3)
+        c.h(0).cx(0, 1).ry(0.5, 2).swap(1, 2)
+        assert len(c) == 4
+        assert c.count_ops() == {"h": 1, "cx": 1, "ry": 1, "swap": 1}
+        assert c.num_two_qubit_gates() == 2
+
+    def test_depth(self):
+        c = Circuit(3)
+        c.h(0).h(1).cx(0, 1).h(2)
+        assert c.depth() == 2
+
+    def test_validation(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.cx(0, 0)
+        with pytest.raises(ValueError):
+            c.h(5)
+        with pytest.raises(ValueError):
+            c.append("cx", [0])
+
+    def test_bind(self):
+        c = Circuit(1)
+        c.ry(Parameter(0), 0).rz(Parameter(1), 0)
+        bound = c.bind([0.1, 0.2])
+        assert bound.is_bound
+        assert bound.instructions[0].params == (0.1,)
+        assert bound.instructions[1].params == (0.2,)
+        with pytest.raises(ValueError):
+            c.bind([0.1])
+
+    def test_unitary_bell(self):
+        c = Circuit(2)
+        c.h(0).cx(0, 1)
+        state = c.unitary() @ np.array([1, 0, 0, 0], dtype=complex)
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_inverse(self):
+        c = Circuit(2)
+        c.h(0).s(1).cx(0, 1).ry(0.37, 0).sx(1)
+        ident = c.compose(c.inverse()).unitary()
+        np.testing.assert_allclose(ident, np.eye(4), atol=1e-12)
+
+    def test_is_clifford(self):
+        c = Circuit(2)
+        c.h(0).cx(0, 1).ry(math.pi / 2, 1)
+        assert c.is_clifford()
+        c.ry(0.3, 0)
+        assert not c.is_clifford()
+        unbound = Circuit(1)
+        unbound.ry(Parameter(0), 0)
+        assert not unbound.is_clifford()
+
+    def test_compose_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+
+class TestAnsatz:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7])
+    def test_parameter_count_is_4n(self, n):
+        a = hardware_efficient_ansatz(n)
+        assert a.num_parameters == 4 * n
+
+    def test_entanglement_pairs(self):
+        assert entanglement_pairs(2) == [(0, 1)]
+        assert entanglement_pairs(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert entanglement_pairs(4, "linear") == [(0, 1), (1, 2), (2, 3)]
+
+    def test_skeleton_fixes_all_zeros(self):
+        skel = ansatz_skeleton(4)
+        assert skel.is_clifford()
+        state = np.zeros(16, dtype=complex)
+        state[0] = 1.0
+        np.testing.assert_allclose(skel.unitary() @ state, state, atol=1e-12)
+
+    def test_skeleton_is_cx_ring_only(self):
+        skel = ansatz_skeleton(5)
+        assert skel.count_ops() == {"cx": 5}
+
+    def test_clifford_angles_give_clifford_ansatz(self):
+        rng = np.random.default_rng(0)
+        n = 4
+        a = hardware_efficient_ansatz(n)
+        theta = rng.choice(CLIFFORD_ANGLES, size=4 * n)
+        assert a.bind(theta).is_clifford()
+        theta[3] = 0.4
+        assert not a.bind(theta).is_clifford()
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_transformation_dimension(self, n):
+        assert num_transformation_parameters(n) == 4 * n + len(entanglement_pairs(n))
+
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_transformation_always_clifford(self, n, seed):
+        rng = np.random.default_rng(seed)
+        gamma = rng.integers(0, 4, size=num_transformation_parameters(n))
+        circ = clapton_transformation_circuit(gamma, n)
+        assert circ.is_clifford()
+
+    def test_transformation_slots(self):
+        n = 3
+        gamma = np.zeros(num_transformation_parameters(n), dtype=int)
+        # all-zero genome: identity circuit (all gates skipped)
+        assert len(clapton_transformation_circuit(gamma, n)) == 0
+        gamma[2 * n + 0] = 1  # CX 0->1
+        gamma[2 * n + 1] = 2  # CX 2->1
+        gamma[2 * n + 2] = 3  # SWAP (2,0)
+        circ = clapton_transformation_circuit(gamma, n)
+        names = [(i.name, i.qubits) for i in circ.instructions]
+        assert names == [("cx", (0, 1)), ("cx", (2, 1)), ("swap", (2, 0))]
+
+    def test_transformation_validation(self):
+        with pytest.raises(ValueError):
+            clapton_transformation_circuit([0, 1], 3)
+        gamma = np.zeros(num_transformation_parameters(3), dtype=int)
+        gamma[0] = 7
+        with pytest.raises(ValueError):
+            clapton_transformation_circuit(gamma, 3)
+
+
+class TestLayeredAnsatz:
+    def test_reps_one_matches_paper_ansatz(self):
+        from repro.circuits import layered_hardware_efficient_ansatz
+
+        n = 4
+        deep = layered_hardware_efficient_ansatz(n, reps=1)
+        flat = hardware_efficient_ansatz(n)
+        assert deep.num_parameters == flat.num_parameters == 4 * n
+        assert [(i.name, i.qubits) for i in deep.instructions] \
+            == [(i.name, i.qubits) for i in flat.instructions]
+
+    @pytest.mark.parametrize("reps", [0, 2, 3])
+    def test_parameter_count(self, reps):
+        from repro.circuits import layered_hardware_efficient_ansatz
+
+        n = 5
+        circ = layered_hardware_efficient_ansatz(n, reps)
+        assert circ.num_parameters == 2 * n * (reps + 1)
+        assert circ.num_two_qubit_gates() == reps * len(entanglement_pairs(n))
+
+    def test_zero_point_fixes_all_zeros(self):
+        from repro.circuits import layered_hardware_efficient_ansatz
+
+        circ = layered_hardware_efficient_ansatz(3, reps=3)
+        bound = circ.bind(np.zeros(circ.num_parameters))
+        state = np.zeros(8, dtype=complex)
+        state[0] = 1.0
+        np.testing.assert_allclose(bound.unitary() @ state, state, atol=1e-12)
+
+    def test_negative_reps_rejected(self):
+        from repro.circuits import layered_hardware_efficient_ansatz
+
+        with pytest.raises(ValueError):
+            layered_hardware_efficient_ansatz(3, reps=-1)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list", "--qubits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ising_J0.25" in out and "H2O_l1.0" in out
+
+    def test_ground_energy(self, capsys):
+        assert main(["ground-energy", "xxz_J1.00", "--qubits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "E0 =" in out
+
+    def test_run_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        assert main(["run", "ising_J1.00", "--backend", "nairobi",
+                     "--method", "clapton", "--qubits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "device model" in out
+
+    def test_run_rejects_unknown(self, capsys):
+        assert main(["run", "ising_J1.00", "--method", "bogus"]) == 2
+        assert main(["run", "ising_J1.00", "--backend", "bogus"]) == 2
+
+    @pytest.mark.slow
+    def test_molecule_with_save(self, capsys, tmp_path):
+        target = tmp_path / "lih.json"
+        assert main(["molecule", "LiH", "1.5", "--save", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "631 terms" in out
+        from repro.paulis.serialization import load_pauli_sum
+
+        assert load_pauli_sum(target).num_terms == 631
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,193 @@
+"""Tests for the dense statevector / density-matrix simulators and channels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.densesim import (
+    DensityMatrixSimulator,
+    channels,
+    pauli_expectation,
+    pauli_sum_expectation,
+    simulate_statevector,
+)
+from repro.paulis import PauliString, PauliSum, random_pauli
+
+
+def random_circuit(n, depth, rng, clifford_only=False):
+    circ = Circuit(n)
+    for _ in range(depth):
+        if rng.random() < 0.5 and n >= 2:
+            a, b = rng.choice(n, size=2, replace=False)
+            circ.cx(a, b)
+        else:
+            kind = ["rx", "ry", "rz"][rng.integers(0, 3)]
+            angle = (rng.integers(0, 4) * math.pi / 2 if clifford_only
+                     else rng.uniform(0, 2 * math.pi))
+            circ.append(kind, [rng.integers(0, n)], [angle])
+    return circ
+
+
+class TestStatevector:
+    @given(st.integers(1, 5), st.integers(0, 20), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_unitary(self, n, depth, seed):
+        rng = np.random.default_rng(seed)
+        circ = random_circuit(n, depth, rng)
+        state = simulate_statevector(circ)
+        zero = np.zeros(2 ** n, dtype=complex)
+        zero[0] = 1.0
+        np.testing.assert_allclose(state, circ.unitary() @ zero, atol=1e-10)
+
+    def test_initial_state(self):
+        circ = Circuit(2)
+        circ.x(0)
+        plus = np.full(4, 0.5, dtype=complex)
+        out = simulate_statevector(circ, initial=plus)
+        np.testing.assert_allclose(out, plus)  # X just permutes equal amps
+
+    def test_initial_dimension_check(self):
+        with pytest.raises(ValueError):
+            simulate_statevector(Circuit(2), initial=np.ones(3))
+
+    @given(st.integers(1, 5), st.integers(0, 15), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_pauli_expectation_matches_dense(self, n, depth, seed):
+        rng = np.random.default_rng(seed)
+        circ = random_circuit(n, depth, rng)
+        state = simulate_statevector(circ)
+        p = random_pauli(n, rng)
+        expected = np.real(np.vdot(state, p.to_matrix() @ state))
+        assert pauli_expectation(p, state) == pytest.approx(expected, abs=1e-9)
+
+    def test_pauli_sum_expectation(self):
+        circ = Circuit(2)
+        circ.h(0).cx(0, 1)
+        state = simulate_statevector(circ)
+        h = PauliSum.from_terms([(1.0, "XX"), (1.0, "ZZ"), (1.0, "YY")])
+        assert pauli_sum_expectation(h, state) == pytest.approx(1.0)
+
+
+class TestChannels:
+    @pytest.mark.parametrize("ops", [
+        channels.depolarizing_kraus(0.1),
+        channels.depolarizing_kraus(0.05, num_qubits=2),
+        channels.amplitude_damping_kraus(0.3),
+        channels.phase_damping_kraus(0.2),
+        channels.bitflip_kraus(0.15),
+        channels.thermal_relaxation_kraus(1e-7, 5e-5, 7e-5),
+    ])
+    def test_trace_preserving(self, ops):
+        channels.validate_kraus(ops)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            channels.depolarizing_kraus(1.5)
+        with pytest.raises(ValueError):
+            channels.depolarizing_kraus(0.1, num_qubits=3)
+        with pytest.raises(ValueError):
+            channels.amplitude_damping_kraus(-0.1)
+        with pytest.raises(ValueError):
+            channels.thermal_relaxation_kraus(1e-7, 1e-5, 3e-5)  # T2 > 2 T1
+
+    def test_amplitude_damping_decays_excited_state(self):
+        sim = DensityMatrixSimulator(1)
+        sim.apply_unitary(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+        sim.apply_kraus(channels.amplitude_damping_kraus(0.4), (0,))
+        probs = sim.probabilities()
+        assert probs[1] == pytest.approx(0.6)
+        # |0> is a fixed point
+        sim.reset()
+        sim.apply_kraus(channels.amplitude_damping_kraus(0.4), (0,))
+        assert sim.probabilities()[0] == pytest.approx(1.0)
+
+    def test_depolarizing_shrinks_bloch_vector(self):
+        sim = DensityMatrixSimulator(1)
+        sim.apply_unitary(channels._I2 * 0 + np.array([[1, 1], [1, -1]]) / math.sqrt(2), (0,))
+        p = 0.3
+        sim.apply_kraus(channels.depolarizing_kraus(p), (0,))
+        x = sim.pauli_expectation(PauliString.from_label("X"))
+        assert x == pytest.approx(1 - 4 * p / 3)
+
+    def test_thermal_relaxation_t2_only_dephases(self):
+        ops = channels.thermal_relaxation_kraus(1e-7, 1e10, 4e-8)
+        sim = DensityMatrixSimulator(1)
+        sim.apply_unitary(np.array([[1, 1], [1, -1]]) / math.sqrt(2), (0,))
+        sim.apply_kraus(ops, (0,))
+        x = sim.pauli_expectation(PauliString.from_label("X"))
+        assert x == pytest.approx(math.exp(-1e-7 / 4e-8), abs=1e-6)
+
+
+class TestDensityMatrix:
+    @given(st.integers(1, 4), st.integers(0, 12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_pure_evolution_matches_statevector(self, n, depth, seed):
+        rng = np.random.default_rng(seed)
+        circ = random_circuit(n, depth, rng)
+        state = simulate_statevector(circ)
+        sim = DensityMatrixSimulator(n)
+        sim.apply_circuit(circ)
+        np.testing.assert_allclose(sim.rho, np.outer(state, state.conj()),
+                                   atol=1e-10)
+        assert sim.purity() == pytest.approx(1.0)
+        p = random_pauli(n, rng)
+        assert sim.pauli_expectation(p) == pytest.approx(
+            pauli_expectation(p, state), abs=1e-9)
+
+    def test_kraus_matches_explicit_sum(self):
+        rng = np.random.default_rng(1)
+        sim = DensityMatrixSimulator(2)
+        circ = random_circuit(2, 6, rng)
+        sim.apply_circuit(circ)
+        rho_before = sim.rho.copy()
+        ops = channels.depolarizing_kraus(0.2, num_qubits=2)
+        sim.apply_kraus(ops, (0, 1))
+        expected = sum(
+            _embed(k, 2) @ rho_before @ _embed(k, 2).conj().T for k in ops)
+        np.testing.assert_allclose(sim.rho, expected, atol=1e-10)
+
+    def test_trace_preserved_under_noise(self):
+        rng = np.random.default_rng(5)
+        sim = DensityMatrixSimulator(3)
+        circ = random_circuit(3, 10, rng)
+        for inst in circ.instructions:
+            sim.apply_instruction(inst)
+            sim.apply_kraus(channels.depolarizing_kraus(0.05), (inst.qubits[0],))
+        assert np.trace(sim.rho).real == pytest.approx(1.0)
+        # density matrix stays Hermitian and PSD
+        np.testing.assert_allclose(sim.rho, sim.rho.conj().T, atol=1e-10)
+        assert np.linalg.eigvalsh(sim.rho).min() > -1e-10
+
+    def test_probabilities_and_sampling(self):
+        rng = np.random.default_rng(2)
+        sim = DensityMatrixSimulator(2)
+        sim.apply_unitary(np.array([[1, 1], [1, -1]]) / math.sqrt(2), (0,))
+        probs = sim.probabilities()
+        np.testing.assert_allclose(probs, [0.5, 0, 0.5, 0], atol=1e-12)
+        counts = sim.sample_counts(2000, rng)
+        assert set(counts) <= {"00", "10"}
+        assert abs(counts.get("00", 0) - 1000) < 150
+
+    def test_readout_confusion(self):
+        sim = DensityMatrixSimulator(1)  # state |0>
+        p01 = np.array([0.1])
+        p10 = np.array([0.3])
+        probs = sim.probabilities_with_readout_error(p01, p10)
+        np.testing.assert_allclose(probs, [0.9, 0.1])
+        sim.apply_unitary(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+        probs = sim.probabilities_with_readout_error(p01, p10)
+        np.testing.assert_allclose(probs, [0.3, 0.7])
+
+    def test_fidelity_with_state(self):
+        sim = DensityMatrixSimulator(1)
+        plus = np.array([1, 1]) / math.sqrt(2)
+        assert sim.fidelity_with_state(plus) == pytest.approx(0.5)
+
+
+def _embed(k, n):
+    from repro.circuits import embed_unitary
+
+    return embed_unitary(k, tuple(range(int(np.log2(k.shape[0])))), n)

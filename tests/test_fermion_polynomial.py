@@ -1,0 +1,115 @@
+"""Unit tests for the internal complex Pauli polynomial (chem.fermion)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fermion import (
+    FermionHamiltonian,
+    PauliPolynomial,
+    jordan_wigner_ladder,
+)
+from repro.paulis import PAULI_MATRICES
+
+
+def poly_to_matrix(poly: PauliPolynomial) -> np.ndarray:
+    n = poly.num_qubits
+    out = np.zeros((2 ** n, 2 ** n), dtype=complex)
+    for (xb, zb), coeff in poly.terms.items():
+        x = np.frombuffer(xb, dtype=bool)
+        z = np.frombuffer(zb, dtype=bool)
+        mat = np.array([[1.0 + 0j]])
+        for a, b in zip(x, z):
+            label = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}[
+                (int(a), int(b))]
+            mat = np.kron(mat, PAULI_MATRICES[label])
+        out += coeff * mat
+    return out
+
+
+class TestPauliPolynomial:
+    def test_scalar(self):
+        poly = PauliPolynomial.scalar(2, 1.5 - 0.5j)
+        np.testing.assert_allclose(poly_to_matrix(poly),
+                                   (1.5 - 0.5j) * np.eye(4))
+
+    def test_product_matches_dense(self):
+        rng = np.random.default_rng(0)
+        n = 3
+        for _ in range(10):
+            a = PauliPolynomial(n)
+            b = PauliPolynomial(n)
+            for poly in (a, b):
+                for _ in range(3):
+                    x = rng.integers(0, 2, n).astype(bool)
+                    z = rng.integers(0, 2, n).astype(bool)
+                    poly.add_term(complex(rng.normal(), rng.normal()), x, z)
+            product = a.product(b)
+            np.testing.assert_allclose(poly_to_matrix(product),
+                                       poly_to_matrix(a) @ poly_to_matrix(b),
+                                       atol=1e-10)
+
+    def test_add_and_scale(self):
+        n = 2
+        a = PauliPolynomial.scalar(n, 1.0)
+        b = PauliPolynomial.scalar(n, 2.0)
+        a.add(b.scaled(0.5))
+        np.testing.assert_allclose(poly_to_matrix(a), 2.0 * np.eye(4))
+
+    def test_to_pauli_sum_rejects_imaginary(self):
+        poly = PauliPolynomial.scalar(1, 1j)
+        with pytest.raises(ValueError):
+            poly.to_pauli_sum()
+
+    def test_to_pauli_sum_drops_tiny_terms(self):
+        poly = PauliPolynomial.scalar(1, 1.0)
+        x = np.array([True])
+        z = np.array([False])
+        poly.add_term(1e-15, x, z)
+        h = poly.to_pauli_sum()
+        assert h.num_terms == 1
+
+    def test_ladder_index_validation(self):
+        with pytest.raises(ValueError):
+            jordan_wigner_ladder(5, 3, creation=True)
+
+
+class TestFermionHamiltonianMapping:
+    def test_one_body_hermiticity(self):
+        """h a†_0 a_1 + h* a†_1 a_0 maps to a Hermitian Pauli sum."""
+        n = 3
+        one_body = np.zeros((n, n))
+        one_body[0, 1] = one_body[1, 0] = 0.7
+        ferm = FermionHamiltonian(core_energy=0.0, one_body=one_body,
+                                  two_body=np.zeros((n, n, n, n)))
+        h = ferm.to_qubits_jordan_wigner()
+        mat = h.to_matrix()
+        np.testing.assert_allclose(mat, mat.conj().T, atol=1e-12)
+
+    def test_hopping_term_matrix(self):
+        """Known JW image: a†_0 a_1 + a†_1 a_0 = (X0X1 + Y0Y1)/2."""
+        n = 2
+        one_body = np.array([[0.0, 1.0], [1.0, 0.0]])
+        ferm = FermionHamiltonian(0.0, one_body, np.zeros((n,) * 4))
+        h = ferm.to_qubits_jordan_wigner()
+        labels = {p.to_label(): c for c, p in h.terms()}
+        assert labels == pytest.approx({"XX": 0.5, "YY": 0.5})
+
+    def test_number_number_interaction(self):
+        """<01|01> two-body term maps to n_0 n_1 structure."""
+        n = 2
+        two_body = np.zeros((n, n, n, n))
+        # 1/2 * (<01|01> a†0 a†1 a1 a0 + <10|10> a†1 a†0 a0 a1) = V n0 n1
+        two_body[0, 1, 0, 1] = 2.0
+        two_body[1, 0, 1, 0] = 2.0
+        ferm = FermionHamiltonian(0.0, np.zeros((n, n)), two_body)
+        h = ferm.to_qubits_jordan_wigner()
+        # n0 n1 = (I - Z0)(I - Z1)/4 * 2.0
+        labels = {p.to_label(): c for c, p in h.terms()}
+        assert labels == pytest.approx({"II": 0.5, "ZI": -0.5,
+                                        "IZ": -0.5, "ZZ": 0.5})
+
+    def test_core_energy_becomes_identity(self):
+        ferm = FermionHamiltonian(3.25, np.zeros((2, 2)),
+                                  np.zeros((2, 2, 2, 2)))
+        h = ferm.to_qubits_jordan_wigner()
+        assert h.identity_constant() == pytest.approx(3.25)

@@ -1,0 +1,270 @@
+"""Cross-module integration tests: the full pipeline, end to end.
+
+These tests exercise realistic flows spanning many subsystems at once --
+the places unit tests cannot reach: transpilation + transformation + noise
+evaluation consistency, Clapton on chemistry Hamiltonians, hardware twins,
+and invariants that must survive the entire stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FakeNairobi,
+    FakeToronto,
+    NoiseModel,
+    VQEProblem,
+    cafqa,
+    clapton,
+    evaluate_initial_point,
+    ground_state_energy,
+    ising_model,
+    ncafqa,
+    relative_improvement,
+    run_vqe,
+    xxz_model,
+)
+from repro.core import ClaptonLoss, transform_hamiltonian
+from repro.densesim import noisy_energy
+from repro.experiments import SMOKE_ENGINE, compare_initializations
+from repro.noise import CliffordNoiseModel
+from repro.optim import EngineConfig
+
+TINY_ENGINE = EngineConfig(num_instances=2, generations_per_round=8,
+                           top_k=4, population_size=16, retry_rounds=0,
+                           seed=0)
+
+
+class TestEndToEndPhysics:
+    def test_full_paper_flow_on_nairobi(self):
+        """Transpile -> optimize 3 methods -> evaluate 3 tiers -> VQE."""
+        hamiltonian = ising_model(4, 0.5)
+        problem = VQEProblem.from_backend(hamiltonian, FakeNairobi())
+        row = compare_initializations("ising", hamiltonian, problem,
+                                      config=TINY_ENGINE, vqe_iterations=15)
+        e0 = row.e0
+        for method in ("cafqa", "ncafqa", "clapton"):
+            ev = row.evaluations[method]
+            # physical sanity across the whole stack
+            assert e0 <= ev.noiseless + 1e-9
+            assert ev.device_model >= e0 - 1e-9
+            assert ev.device_model <= hamiltonian.mixed_state_energy() + 1.0
+            trace = row.vqe[method]
+            assert trace.final_energy >= e0 - 1e-9
+        # eta computable and finite
+        assert np.isfinite(row.eta_initial("cafqa"))
+        assert np.isfinite(row.eta_final("ncafqa"))
+
+    def test_clapton_loss_predicts_clifford_tier(self):
+        """The engine's L_N at the winning genome equals the clifford-model
+        evaluation of the initial point -- across transpilation, embedding,
+        and observable construction."""
+        hamiltonian = xxz_model(5, 1.0)
+        problem = VQEProblem.from_backend(hamiltonian, FakeToronto())
+        result = clapton(problem, config=TINY_ENGINE)
+        loss = ClaptonLoss(problem)
+        ln, l0 = loss.components(result.genome)
+        ev = evaluate_initial_point(result)
+        assert ev.clifford_model == pytest.approx(ln, abs=1e-9)
+        assert ev.noiseless == pytest.approx(l0, abs=1e-9)
+
+    def test_transformed_problem_spectrum_survives_stack(self):
+        hamiltonian = xxz_model(4, 0.25)
+        problem = VQEProblem.from_backend(hamiltonian, FakeNairobi())
+        result = clapton(problem, config=TINY_ENGINE)
+        assert ground_state_energy(result.vqe_hamiltonian) == pytest.approx(
+            ground_state_energy(hamiltonian), abs=1e-8)
+
+    def test_methods_share_problem_safely(self):
+        """Running all three methods on one problem object must not leak
+        state between them (the observable caches, skeleton, etc.)."""
+        hamiltonian = ising_model(4, 1.0)
+        problem = VQEProblem.from_backend(hamiltonian, FakeNairobi())
+        first = cafqa(problem, config=TINY_ENGINE)
+        middle = clapton(problem, config=TINY_ENGINE)
+        second = cafqa(problem, config=TINY_ENGINE)
+        assert first.loss == pytest.approx(second.loss)
+        np.testing.assert_array_equal(first.genome, second.genome)
+
+    def test_noise_monotonicity_through_stack(self):
+        """Scaling every error rate up cannot improve the device energy of
+        a fixed Clapton initialization."""
+        hamiltonian = ising_model(4, 1.0)
+        base_nm = NoiseModel.uniform(4, depol_1q=1e-3, depol_2q=1e-2,
+                                     readout=0.02, t1=80e-6)
+        problem = VQEProblem.logical(hamiltonian, noise_model=base_nm)
+        result = clapton(problem, config=TINY_ENGINE)
+        circuit = result.initial_circuit()
+        observable = result.initial_observable()
+        e_base = noisy_energy(circuit, observable, base_nm)
+        worse_nm = NoiseModel.uniform(4, depol_1q=5e-3, depol_2q=5e-2,
+                                      readout=0.08, t1=30e-6)
+        e_worse = noisy_energy(circuit, observable, worse_nm)
+        assert e_worse >= e_base - 1e-9
+
+
+class TestEndToEndChemistry:
+    @pytest.mark.slow
+    def test_clapton_on_molecular_hamiltonian(self):
+        """The headline chemistry claim in miniature: on LiH, Clapton's
+        initial point beats noise-aware CAFQA under device-model noise."""
+        from repro.chem import molecular_hamiltonian
+
+        hamiltonian = molecular_hamiltonian("LiH", 1.5).hamiltonian
+        nm = NoiseModel.uniform(10, depol_1q=5e-4, depol_2q=5e-3,
+                                readout=0.02, t1=100e-6)
+        problem = VQEProblem.logical(hamiltonian, noise_model=nm)
+        base = ncafqa(problem, config=TINY_ENGINE)
+        clap = clapton(problem, config=TINY_ENGINE)
+        e0 = ground_state_energy(hamiltonian)
+        e_base = evaluate_initial_point(base).device_model
+        e_clap = evaluate_initial_point(clap).device_model
+        eta = relative_improvement(e0, e_base, e_clap)
+        assert eta > 0.9  # must at least hold ground at tiny budgets
+
+    @pytest.mark.slow
+    def test_molecular_identity_constant_matches_core_energy(self):
+        """The PauliSum identity coefficient carries nuclear + frozen-core
+        energy through the whole mapping chain."""
+        from repro.chem import ACTIVE_SPACES, molecular_hamiltonian
+        from repro.chem.active_space import active_space_tensors
+
+        prob = molecular_hamiltonian("H2O", 1.0)
+        core, _, _ = active_space_tensors(prob.scf, ACTIVE_SPACES["H2O"])
+        # identity coefficient = core + sum of purely scalar parts of the
+        # two-body/one-body mapping; at minimum it must be finite and the
+        # ground energy must sit below HF
+        assert np.isfinite(prob.hamiltonian.identity_constant())
+        assert ground_state_energy(prob.hamiltonian) < prob.hf_energy
+
+
+class TestFailureInjection:
+    def test_mismatched_noise_model_width(self):
+        hamiltonian = ising_model(4, 1.0)
+        with pytest.raises(ValueError):
+            VQEProblem.logical(hamiltonian,
+                               noise_model=NoiseModel.noiseless(6))
+
+    def test_vqe_on_foreign_theta_length(self):
+        problem = VQEProblem.logical(ising_model(3, 1.0))
+        result = cafqa(problem, config=TINY_ENGINE)
+        from repro.vqe import EnergyEstimator
+
+        est = EnergyEstimator(problem, problem.mapped_hamiltonian())
+        with pytest.raises(ValueError):
+            est.energy(np.zeros(3))  # ansatz has 12 parameters
+
+    def test_engine_with_zero_budget_still_returns(self):
+        problem = VQEProblem.logical(ising_model(3, 0.5))
+        config = EngineConfig(num_instances=1, generations_per_round=0,
+                              top_k=1, population_size=4, retry_rounds=0,
+                              seed=0)
+        result = clapton(problem, config=config)
+        assert result.genome is not None
+        assert np.isfinite(result.loss)
+
+    def test_hamiltonian_with_identity_only(self):
+        """A constant Hamiltonian is degenerate but must not crash."""
+        from repro.paulis import PauliSum
+
+        h = PauliSum.from_terms([(2.5, "III")])
+        problem = VQEProblem.logical(h)
+        result = clapton(problem, config=TINY_ENGINE)
+        assert result.loss == pytest.approx(5.0)  # L_N + L_0 = 2.5 + 2.5
+
+    def test_extreme_noise_rates(self):
+        """Maximal depolarizing noise drives every Pauli term to zero."""
+        h = ising_model(3, 1.0)
+        nm = NoiseModel.uniform(3, depol_1q=0.75, depol_2q=15 / 16,
+                                readout=0.5, t1=None)
+        problem = VQEProblem.logical(h, noise_model=nm)
+        model = CliffordNoiseModel(nm)
+        value = model.noisy_zero_state_energy(problem.skeleton(),
+                                              problem.mapped_hamiltonian())
+        assert abs(value) < 1e-6
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        hamiltonian = xxz_model(4, 0.5)
+        problem = VQEProblem.from_backend(hamiltonian, FakeNairobi())
+        a = clapton(problem, config=TINY_ENGINE)
+        b = clapton(problem, config=TINY_ENGINE)
+        np.testing.assert_array_equal(a.genome, b.genome)
+        assert a.loss == b.loss
+
+    def test_different_seeds_explore_differently(self):
+        hamiltonian = xxz_model(4, 0.5)
+        problem = VQEProblem.from_backend(hamiltonian, FakeNairobi())
+        config_b = EngineConfig(num_instances=2, generations_per_round=8,
+                                top_k=4, population_size=16, retry_rounds=0,
+                                seed=99)
+        a = clapton(problem, config=TINY_ENGINE)
+        b = clapton(problem, config=config_b)
+        # losses may coincide (same optimum) but the engines must have run
+        assert a.engine.num_evaluations > 0 and b.engine.num_evaluations > 0
+
+    def test_vqe_seeded_reproducibility(self):
+        problem = VQEProblem.logical(
+            ising_model(3, 1.0),
+            noise_model=NoiseModel.uniform(3, depol_1q=1e-3, depol_2q=1e-2,
+                                           readout=0.02, t1=80e-6))
+        init = cafqa(problem, config=TINY_ENGINE)
+        t1 = run_vqe(init, maxiter=10, shots=512, seed=7)
+        t2 = run_vqe(init, maxiter=10, shots=512, seed=7)
+        np.testing.assert_allclose(t1.final_theta, t2.final_theta)
+        assert t1.history == t2.history
+
+
+class TestCafqaQuality:
+    def test_cafqa_noiseless_accuracy_easy_regime(self):
+        """CAFQA's claim (Sec. 2.5): stabilizer initialization reaches a
+        large fraction of the ground energy when stabilizer states
+        approximate it well (XXZ at small J)."""
+        h = xxz_model(5, 0.25)
+        problem = VQEProblem.logical(h)
+        result = cafqa(problem, config=SMOKE_ENGINE)
+        e0 = ground_state_energy(h)
+        # accuracy measured against the mixed-state zero point
+        accuracy = result.loss / e0  # both negative side
+        assert accuracy > 0.85
+
+    def test_cafqa_weaker_in_hard_regime(self):
+        """At J = 1.0 stabilizer states cannot represent the ground state
+        as well -- the motivation for running full VQE afterwards."""
+        easy = xxz_model(5, 0.25)
+        hard = xxz_model(5, 1.00)
+        easy_frac = cafqa(VQEProblem.logical(easy), config=SMOKE_ENGINE).loss \
+            / ground_state_energy(easy)
+        hard_frac = cafqa(VQEProblem.logical(hard), config=SMOKE_ENGINE).loss \
+            / ground_state_energy(hard)
+        assert easy_frac > hard_frac
+
+
+class TestDeeperAnsatz:
+    def test_clapton_with_layered_skeleton(self):
+        """Clapton works with a deeper ansatz: build a problem whose eval
+        ansatz has two entangling layers and verify the loss pipeline."""
+        from repro.circuits import layered_hardware_efficient_ansatz
+
+        n = 4
+        h = ising_model(n, 1.0)
+        nm = NoiseModel.uniform(n, depol_1q=1e-3, depol_2q=1e-2,
+                                readout=0.02, t1=80e-6)
+        problem = VQEProblem.logical(h, noise_model=nm)
+        # swap in the deeper ansatz (the bundle accepts any 2N(reps+1)
+        # parameterization whose zero point fixes |0...0>)
+        problem.eval_ansatz = layered_hardware_efficient_ansatz(n, reps=2)
+        skeleton = problem.skeleton()
+        assert skeleton.count_ops() == {"cx": 2 * 4}
+        result = clapton(problem, config=TINY_ENGINE)
+        ev = evaluate_initial_point(result)
+        assert ev.device_model >= ground_state_energy(h) - 1e-9
+        # deeper skeleton -> more noise locations -> weaker-or-equal noisy
+        # energy than the same transformation under the shallow skeleton
+        shallow = VQEProblem.logical(h, noise_model=nm)
+        from repro.core import ClaptonLoss
+
+        ln_deep, _ = ClaptonLoss(problem).components(result.genome)
+        ln_shallow, _ = ClaptonLoss(shallow).components(result.genome)
+        assert abs(ln_deep) <= abs(ln_shallow) + 1e-9

@@ -1,0 +1,62 @@
+"""Tests for the evaluation metrics (Eq. 14 and Fig. 5 normalization)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    gap_reduction_percent,
+    geometric_mean,
+    normalized_energy,
+    relative_improvement,
+)
+
+
+class TestRelativeImprovement:
+    def test_factor_two_halves_gap(self):
+        assert relative_improvement(-10.0, -8.0, -9.0) == pytest.approx(2.0)
+
+    def test_equal_methods_give_one(self):
+        assert relative_improvement(-5.0, -4.0, -4.0) == pytest.approx(1.0)
+
+    def test_below_one_when_baseline_better(self):
+        assert relative_improvement(-10.0, -9.5, -9.0) == pytest.approx(0.5)
+
+    def test_exact_clapton_gives_inf(self):
+        assert relative_improvement(-3.0, -2.0, -3.0) == math.inf
+
+    def test_both_exact_gives_one(self):
+        assert relative_improvement(-3.0, -3.0, -3.0) == 1.0
+
+    def test_unphysical_energies_rejected(self):
+        with pytest.raises(ValueError):
+            relative_improvement(-3.0, -4.0, -2.0)
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.7, 3.7]) == pytest.approx(
+            math.sqrt(1.7 * 3.7))
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_normalized_energy_fixpoints(self):
+        assert normalized_energy(-10.0, e0=-10.0, e_mixed=0.0) == 0.0
+        assert normalized_energy(0.0, e0=-10.0, e_mixed=0.0) == 1.0
+        assert normalized_energy(-5.0, e0=-10.0, e_mixed=0.0) == 0.5
+
+    def test_normalized_energy_validation(self):
+        with pytest.raises(ValueError):
+            normalized_energy(0.0, e0=1.0, e_mixed=0.0)
+
+    def test_gap_reduction(self):
+        assert gap_reduction_percent(1.3) == pytest.approx(23.0769, abs=1e-3)
+        assert gap_reduction_percent(2.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            gap_reduction_percent(0.0)

@@ -1,0 +1,124 @@
+"""Edge-case tests for behaviours not covered by the module suites."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeToronto
+from repro.circuits import Circuit, embed_unitary
+from repro.core import VQEProblem, cafqa
+from repro.hamiltonians import ising_model
+from repro.noise import CliffordNoiseModel, NoiseModel
+from repro.optim import EngineConfig, SPSAConfig, minimize_spsa
+from repro.vqe import run_vqe
+
+TINY = EngineConfig(num_instances=1, generations_per_round=5, top_k=2,
+                    population_size=8, retry_rounds=0, seed=0)
+
+
+class TestEmbedUnitaryValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            embed_unitary(np.eye(4), (0,), 3)
+
+    def test_full_register_identity(self):
+        u = embed_unitary(np.eye(8), (0, 1, 2), 3)
+        np.testing.assert_allclose(u, np.eye(8))
+
+
+class TestBackendDefaults:
+    def test_depol_2q_default_is_median(self):
+        backend = FakeToronto()
+        nm = backend.noise_model([0, 1, 2])
+        expected = float(np.median(list(backend.calibration.error_2q.values())))
+        # (0,2) is not an edge on toronto -> falls back to the median
+        assert nm.two_qubit_depol(0, 2) == expected
+
+
+class TestTwirlCache:
+    def test_relaxation_factors_cached(self):
+        nm = NoiseModel.uniform(2, depol_1q=1e-3, depol_2q=1e-2, t1=50e-6)
+        model = CliffordNoiseModel(nm, include_twirled_relaxation=True)
+        a = model._relaxation_factors_by_code(0, 1e-7)
+        b = model._relaxation_factors_by_code(0, 1e-7)
+        assert a is b  # same array object: cache hit
+        c = model._relaxation_factors_by_code(1, 1e-7)
+        assert c is not a
+
+
+class TestSPSAStability:
+    def test_explicit_stability_constant(self):
+        """Larger A damps early steps: displacement shrinks monotonically."""
+        def displacement(big_a):
+            result = minimize_spsa(lambda x: float(x @ x), np.ones(2),
+                                   SPSAConfig(maxiter=10, a=0.5,
+                                              stability_constant=big_a,
+                                              seed=0))
+            return float(np.linalg.norm(result.x - 1.0))
+
+        assert displacement(1000.0) < displacement(10.0)
+
+
+class TestVQETraceUtilities:
+    def make_trace(self):
+        problem = VQEProblem.logical(
+            ising_model(3, 1.0),
+            noise_model=NoiseModel.uniform(3, depol_1q=1e-3, depol_2q=1e-2,
+                                           readout=0.02, t1=80e-6))
+        init = cafqa(problem, config=TINY)
+        return run_vqe(init, maxiter=20, seed=0)
+
+    def test_running_minimum_monotone(self):
+        trace = self.make_trace()
+        mins = trace.running_minimum()
+        assert len(mins) == 20
+        assert all(a >= b for a, b in zip(mins, mins[1:]))
+        assert mins[-1] == min(trace.history)
+
+    def test_smoothed_history(self):
+        trace = self.make_trace()
+        smooth = trace.smoothed_history(window=5)
+        assert len(smooth) == 20 - 5 + 1
+        assert np.all(np.isfinite(smooth))
+        with pytest.raises(ValueError):
+            trace.smoothed_history(window=0)
+
+
+class TestCircuitEdgeCases:
+    def test_depth_of_empty_circuit(self):
+        assert Circuit(3).depth() == 0
+
+    def test_inverse_of_unbound_rotation_rejected(self):
+        from repro.circuits import Parameter
+
+        circ = Circuit(1)
+        circ.ry(Parameter(0), 0)
+        with pytest.raises(ValueError):
+            circ.inverse()
+
+    def test_num_parameters_with_gaps(self):
+        from repro.circuits import Parameter
+
+        circ = Circuit(1)
+        circ.ry(Parameter(5), 0)
+        assert circ.num_parameters == 6  # indices 0..5 expected
+
+
+class TestPaperScaleLossSanity:
+    def test_ten_qubit_chemistry_loss_single_eval(self):
+        """One full-scale (10q, 631-term) Clapton loss evaluation stays in
+        physical bounds and its two components behave as designed."""
+        import pytest
+        from repro.backends import FakeToronto
+        from repro.chem import molecular_hamiltonian
+        from repro.core import ClaptonLoss, VQEProblem
+
+        h = molecular_hamiltonian("LiH", 1.5).hamiltonian
+        problem = VQEProblem.from_backend(h, FakeToronto())
+        loss = ClaptonLoss(problem)
+        gamma = np.zeros(problem.num_transformation_parameters, dtype=int)
+        noisy, noiseless = loss.components(gamma)
+        # identity transformation: noiseless part is <0|H|0>
+        assert noiseless == pytest.approx(h.expectation_all_zeros())
+        # attenuation acts toward the traceless mean (identity coefficient)
+        constant = h.identity_constant()
+        assert abs(noisy - constant) <= abs(noiseless - constant) + 1e-9

@@ -1,0 +1,186 @@
+"""Tests for gate folding, zero-noise extrapolation, and readout mitigation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ansatz_skeleton
+from repro.densesim import noisy_energy, simulate_statevector
+from repro.mitigation import (
+    confusion_matrices,
+    counts_to_probabilities,
+    exponential_extrapolation,
+    fold_gates,
+    fold_global,
+    linear_extrapolation,
+    mitigate_counts,
+    mitigate_probabilities,
+    richardson_extrapolation,
+    z_expectation_from_probabilities,
+    zne_energy,
+)
+from repro.noise import NoiseModel
+from repro.paulis import PauliSum
+
+
+def sample_circuit():
+    circ = Circuit(3)
+    circ.h(0).cx(0, 1).ry(0.4, 2).cx(1, 2).s(0)
+    return circ
+
+
+class TestFolding:
+    @pytest.mark.parametrize("scale", [1, 3, 5])
+    def test_global_folding_preserves_unitary(self, scale):
+        circ = sample_circuit()
+        folded = fold_global(circ, scale)
+        np.testing.assert_allclose(folded.unitary(), circ.unitary(),
+                                   atol=1e-10)
+        assert len(folded) == scale * len(circ)
+
+    @pytest.mark.parametrize("scale", [3, 5])
+    def test_gate_folding_preserves_unitary(self, scale):
+        circ = sample_circuit()
+        folded = fold_gates(circ, scale, two_qubit_only=False)
+        np.testing.assert_allclose(folded.unitary(), circ.unitary(),
+                                   atol=1e-10)
+
+    def test_two_qubit_only_folding(self):
+        circ = sample_circuit()
+        folded = fold_gates(circ, 3, two_qubit_only=True)
+        assert folded.count_ops()["cx"] == 3 * circ.count_ops()["cx"]
+        assert folded.count_ops()["h"] == circ.count_ops()["h"]
+
+    def test_even_scale_rejected(self):
+        with pytest.raises(ValueError):
+            fold_global(sample_circuit(), 2)
+        with pytest.raises(ValueError):
+            fold_gates(sample_circuit(), 0)
+
+    def test_folding_amplifies_noise(self):
+        """More folds, more decay of the noisy expectation magnitude."""
+        nm = NoiseModel.uniform(3, depol_1q=2e-3, depol_2q=2e-2,
+                                readout=0.0, t1=None)
+        h = PauliSum.from_terms([(1.0, "ZZZ")])
+        circ = ansatz_skeleton(3)
+        values = [noisy_energy(fold_gates(circ, s), h, nm) for s in (1, 3, 5)]
+        assert values[0] > values[1] > values[2] > 0
+
+
+class TestExtrapolation:
+    def test_linear_recovers_line(self):
+        scales = [1, 3, 5]
+        values = [2.0 - 0.3 * s for s in scales]
+        assert linear_extrapolation(scales, values) == pytest.approx(2.0)
+
+    def test_richardson_recovers_quadratic(self):
+        scales = [1, 3, 5]
+        values = [1.0 + 0.2 * s - 0.05 * s * s for s in scales]
+        assert richardson_extrapolation(scales, values) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            richardson_extrapolation([1, 1, 3], values)
+
+    def test_exponential_recovers_decay(self):
+        scales = [1, 3, 5]
+        values = [-2.0 * math.exp(-0.25 * s) for s in scales]
+        assert exponential_extrapolation(scales, values) == pytest.approx(
+            -2.0, rel=1e-6)
+
+    def test_exponential_with_asymptote(self):
+        scales = [1, 3, 5]
+        values = [1.5 + 0.8 * math.exp(-0.4 * s) for s in scales]
+        assert exponential_extrapolation(scales, values, asymptote=1.5) \
+            == pytest.approx(1.5 + 0.8, rel=1e-6)
+
+
+class TestZNE:
+    def test_mitigated_closer_to_ideal(self):
+        """On a Pauli-noise-only circuit ZNE must recover a large part of
+        the gap to the noiseless expectation."""
+        nm = NoiseModel.uniform(3, depol_1q=1e-3, depol_2q=1e-2,
+                                readout=0.0, t1=None)
+        h = PauliSum.from_terms([(1.0, "ZZI"), (0.5, "IZZ")])
+        circ = ansatz_skeleton(3)
+        ideal = 1.5  # all-zeros state
+        result = zne_energy(circ, h, nm, scales=(1, 3, 5),
+                            method="exponential")
+        raw_gap = abs(result.unmitigated - ideal)
+        mitigated_gap = abs(result.mitigated - ideal)
+        assert mitigated_gap < 0.35 * raw_gap
+
+    def test_linear_and_richardson_run(self):
+        nm = NoiseModel.uniform(2, depol_1q=2e-3, depol_2q=2e-2,
+                                readout=0.01, t1=60e-6)
+        h = PauliSum.from_terms([(1.0, "ZZ")])
+        circ = Circuit(2)
+        circ.cx(0, 1)
+        for method in ("linear", "richardson"):
+            result = zne_energy(circ, h, nm, scales=(1, 3, 5), method=method)
+            assert result.method == method
+            assert result.mitigated >= result.unmitigated  # recovers toward 1
+
+    def test_validation(self):
+        nm = NoiseModel.noiseless(2)
+        h = PauliSum.from_terms([(1.0, "ZZ")])
+        circ = Circuit(2)
+        circ.cx(0, 1)
+        with pytest.raises(ValueError):
+            zne_energy(circ, h, nm, scales=(3, 5))
+        with pytest.raises(ValueError):
+            zne_energy(circ, h, nm, method="cubic")
+        with pytest.raises(ValueError):
+            zne_energy(circ, h, nm, folding="pulse")
+
+
+class TestReadoutMitigation:
+    def test_counts_to_probabilities(self):
+        probs = counts_to_probabilities({"00": 3, "11": 1}, 2)
+        np.testing.assert_allclose(probs, [0.75, 0, 0, 0.25])
+        with pytest.raises(ValueError):
+            counts_to_probabilities({"0": 1}, 2)
+        with pytest.raises(ValueError):
+            counts_to_probabilities({}, 1)
+
+    def test_inversion_exact_on_infinite_shots(self):
+        """Applying confusion then its inverse recovers the distribution."""
+        nm = NoiseModel(num_qubits=2, depol_1q=0.0, depol_2q_default=0.0,
+                        readout_p01=np.array([0.05, 0.02]),
+                        readout_p10=np.array([0.08, 0.11]))
+        rng = np.random.default_rng(0)
+        true = rng.dirichlet(np.ones(4))
+        matrices = confusion_matrices(nm)
+        noisy = true.reshape(2, 2)
+        noisy = np.tensordot(matrices[0], noisy, axes=([1], [0]))
+        noisy = np.moveaxis(np.tensordot(matrices[1], noisy, axes=([1], [1])),
+                            0, 1).reshape(4)
+        recovered = mitigate_probabilities(noisy, matrices, clip=False)
+        np.testing.assert_allclose(recovered, true, atol=1e-12)
+
+    def test_mitigate_counts_improves_z_expectation(self):
+        nm = NoiseModel(num_qubits=1, depol_1q=0.0, depol_2q_default=0.0,
+                        readout_p01=np.array([0.06]),
+                        readout_p10=np.array([0.12]))
+        rng = np.random.default_rng(1)
+        # true state |0>: ideal <Z> = 1; simulate noisy readout counts
+        flips = rng.random(20000) < 0.06
+        counts = {"0": int((~flips).sum()), "1": int(flips.sum())}
+        raw = counts_to_probabilities(counts, 1)
+        raw_z = z_expectation_from_probabilities(raw, [0])
+        mitigated = mitigate_counts(counts, nm)
+        mit_z = z_expectation_from_probabilities(mitigated, [0])
+        assert abs(mit_z - 1.0) < abs(raw_z - 1.0)
+
+    def test_z_expectation_from_probabilities(self):
+        probs = np.array([0.5, 0, 0, 0.5])  # (|00>+|11>)/sqrt(2) outcomes
+        assert z_expectation_from_probabilities(probs, [0, 1]) == 1.0
+        assert z_expectation_from_probabilities(probs, [0]) == 0.0
+
+    def test_clip_projects_to_simplex(self):
+        nm = NoiseModel(num_qubits=1, depol_1q=0.0, depol_2q_default=0.0,
+                        readout_p01=np.array([0.3]),
+                        readout_p10=np.array([0.3]))
+        # distribution impossible under that much noise -> negative quasi-prob
+        mitigated = mitigate_counts({"0": 999, "1": 1}, nm)
+        assert (mitigated >= 0).all()
+        assert mitigated.sum() == pytest.approx(1.0)

@@ -1,0 +1,200 @@
+"""Tests for the GA, the Figure-4 engine, and SPSA on toy objectives."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    EngineConfig,
+    GAConfig,
+    GeneticAlgorithm,
+    SPSAConfig,
+    minimize_spsa,
+    multi_ga_minimize,
+)
+
+
+def count_nonzero_loss(genome):
+    """Global minimum 0 at the all-zeros genome."""
+    return float(np.count_nonzero(genome))
+
+
+def target_match_loss(target):
+    def loss(genome):
+        return float(np.sum(genome != target))
+    return loss
+
+
+class TestGeneticAlgorithm:
+    def test_finds_trivial_optimum(self):
+        rng = np.random.default_rng(0)
+        ga = GeneticAlgorithm(count_nonzero_loss, genome_length=12,
+                              config=GAConfig(population_size=40,
+                                              num_generations=60), rng=rng)
+        result = ga.run()
+        assert result.best_loss == 0.0
+        assert np.all(result.best_genome == 0)
+
+    def test_finds_arbitrary_target(self):
+        rng = np.random.default_rng(1)
+        target = rng.integers(0, 4, size=10)
+        ga = GeneticAlgorithm(target_match_loss(target), genome_length=10,
+                              config=GAConfig(population_size=50,
+                                              num_generations=80), rng=rng)
+        result = ga.run()
+        assert result.best_loss == 0.0
+
+    def test_history_monotone(self):
+        rng = np.random.default_rng(2)
+        ga = GeneticAlgorithm(count_nonzero_loss, genome_length=20,
+                              config=GAConfig(population_size=30,
+                                              num_generations=30), rng=rng)
+        result = ga.run()
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_cache_prevents_reevaluation(self):
+        calls = []
+
+        def counting_loss(genome):
+            calls.append(1)
+            return count_nonzero_loss(genome)
+
+        rng = np.random.default_rng(3)
+        cache = {}
+        ga = GeneticAlgorithm(counting_loss, genome_length=4,
+                              config=GAConfig(population_size=20,
+                                              num_generations=30),
+                              rng=rng, cache=cache)
+        ga.run()
+        # only 4^4 = 256 distinct genomes exist; far fewer calls than the
+        # 20 * 31 evaluations a cache-less run would make
+        assert len(calls) == len(cache)
+        assert len(calls) <= 256
+
+    def test_initial_population_respected_and_topped_up(self):
+        rng = np.random.default_rng(4)
+        seed_pop = np.zeros((5, 8), dtype=int)
+        ga = GeneticAlgorithm(count_nonzero_loss, genome_length=8,
+                              config=GAConfig(population_size=20,
+                                              num_generations=1), rng=rng)
+        result = ga.run(initial_population=seed_pop)
+        assert result.best_loss == 0.0  # the seeded optimum survives elitism
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(count_nonzero_loss, genome_length=0)
+        rng = np.random.default_rng(0)
+        ga = GeneticAlgorithm(count_nonzero_loss, genome_length=3, rng=rng)
+        with pytest.raises(ValueError):
+            ga.run(initial_population=np.zeros((2, 5), dtype=int))
+
+    def test_genes_stay_in_range(self):
+        rng = np.random.default_rng(5)
+        ga = GeneticAlgorithm(count_nonzero_loss, genome_length=6,
+                              num_values=3,
+                              config=GAConfig(population_size=15,
+                                              num_generations=20), rng=rng)
+        result = ga.run()
+        assert result.population.min() >= 0
+        assert result.population.max() <= 2
+
+
+class TestEngine:
+    def test_converges_on_toy_problem(self):
+        config = EngineConfig(num_instances=3, generations_per_round=15,
+                              top_k=5, population_size=25, seed=0)
+        result = multi_ga_minimize(count_nonzero_loss, genome_length=10,
+                                   config=config)
+        assert result.best_loss == 0.0
+        assert result.num_rounds >= 1
+        assert result.num_evaluations > 0
+        assert result.total_seconds > 0
+
+    def test_round_bookkeeping(self):
+        config = EngineConfig(num_instances=2, generations_per_round=5,
+                              top_k=3, population_size=10, seed=1)
+        result = multi_ga_minimize(count_nonzero_loss, genome_length=6,
+                                   config=config)
+        losses = [r.best_loss for r in result.rounds]
+        assert all(a >= b for a, b in zip(losses, losses[1:]))
+        # convergence: last retry_rounds+1 rounds show no improvement
+        assert losses[-1] == result.best_loss
+
+    def test_retry_rounds_bound_total_rounds(self):
+        """A constant loss must terminate after exactly 1 + retries rounds."""
+        config = EngineConfig(num_instances=1, generations_per_round=2,
+                              top_k=2, population_size=5, retry_rounds=2,
+                              seed=2)
+        result = multi_ga_minimize(lambda g: 1.0, genome_length=3,
+                                   config=config)
+        assert result.num_rounds == 1 + 2 + 1  # first + 2 retries + final
+
+
+class TestSPSA:
+    def test_quadratic_convergence(self):
+        target = np.array([1.0, -2.0, 0.5])
+
+        def loss(x):
+            return float(np.sum((x - target) ** 2))
+
+        result = minimize_spsa(loss, np.zeros(3),
+                               SPSAConfig(maxiter=400, seed=0))
+        np.testing.assert_allclose(result.x, target, atol=0.15)
+        assert result.loss < 0.05
+
+    def test_noisy_quadratic(self):
+        rng = np.random.default_rng(7)
+        target = np.full(4, 0.7)
+
+        def loss(x):
+            return float(np.sum((x - target) ** 2) + 0.01 * rng.normal())
+
+        result = minimize_spsa(loss, np.zeros(4),
+                               SPSAConfig(maxiter=600, seed=1))
+        np.testing.assert_allclose(result.x, target, atol=0.25)
+
+    def test_history_and_callback(self):
+        seen = []
+        result = minimize_spsa(lambda x: float(x @ x), np.ones(2),
+                               SPSAConfig(maxiter=50, seed=2),
+                               callback=lambda k, x, f: seen.append(k))
+        assert len(result.history) == 50
+        assert seen == list(range(50))
+
+    def test_bounds_respected(self):
+        result = minimize_spsa(lambda x: float(np.sum(-x)), np.zeros(3),
+                               SPSAConfig(maxiter=100, seed=3,
+                                          bounds=(0.0, 1.0)))
+        assert (result.x >= 0).all() and (result.x <= 1).all()
+
+    def test_explicit_a_skips_calibration(self):
+        calls = []
+
+        def loss(x):
+            calls.append(1)
+            return float(x @ x)
+
+        minimize_spsa(loss, np.ones(2), SPSAConfig(maxiter=10, a=0.1, seed=4))
+        assert len(calls) == 2 * 10 + 1  # no calibration probes
+
+
+class TestParallelEngine:
+    def test_parallel_matches_quality(self):
+        """Parallel engine finds the same optimum on a toy problem."""
+        config = EngineConfig(num_instances=2, generations_per_round=10,
+                              top_k=4, population_size=16, retry_rounds=0,
+                              seed=3, num_processes=2)
+        result = multi_ga_minimize(count_nonzero_loss, genome_length=8,
+                                   config=config)
+        assert result.best_loss == 0.0
+        assert result.num_evaluations > 0
+
+    def test_parallel_reproducible(self):
+        config = EngineConfig(num_instances=2, generations_per_round=8,
+                              top_k=3, population_size=12, retry_rounds=0,
+                              seed=5, num_processes=2)
+        a = multi_ga_minimize(count_nonzero_loss, genome_length=6,
+                              config=config)
+        b = multi_ga_minimize(count_nonzero_loss, genome_length=6,
+                              config=config)
+        assert a.best_loss == b.best_loss
+        np.testing.assert_array_equal(a.best_genome, b.best_genome)

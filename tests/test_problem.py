@@ -1,0 +1,89 @@
+"""Focused tests for the VQEProblem bundle (core/problem.py)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeNairobi, FakeToronto
+from repro.core import VQEProblem
+from repro.hamiltonians import ising_model, xxz_model
+from repro.noise import NoiseModel
+
+
+class TestLogicalProblem:
+    def test_defaults_to_noiseless(self):
+        problem = VQEProblem.logical(ising_model(4, 1.0))
+        assert problem.noise_model.depol_1q.max() == 0.0
+        assert problem.positions == [0, 1, 2, 3]
+        assert problem.transpiled is None
+        assert problem.hardware_noise_model is None
+
+    def test_dimensions(self):
+        problem = VQEProblem.logical(xxz_model(5, 0.5))
+        assert problem.num_logical_qubits == 5
+        assert problem.num_eval_qubits == 5
+        assert problem.num_vqe_parameters == 20     # 4N
+        assert problem.num_transformation_parameters == 25  # 5N circular
+
+    def test_skeleton_is_identity_free_clifford(self):
+        problem = VQEProblem.logical(ising_model(4, 0.5))
+        skeleton = problem.skeleton()
+        assert skeleton.is_clifford()
+        assert skeleton.count_ops() == {"cx": 4}  # circular ring
+
+    def test_bound_ansatz_drops_identities(self):
+        problem = VQEProblem.logical(ising_model(3, 0.5))
+        theta = np.zeros(problem.num_vqe_parameters)
+        theta[0] = np.pi / 2
+        bound = problem.bound_ansatz(theta)
+        rotations = [i for i in bound.instructions if i.name in ("ry", "rz")]
+        assert len(rotations) == 1
+        assert rotations[0].params == (np.pi / 2,)
+
+    def test_mapped_hamiltonian_identity_positions(self):
+        h = xxz_model(4, 1.0)
+        problem = VQEProblem.logical(h)
+        mapped = problem.mapped_hamiltonian()
+        assert {p.to_label(): c for c, p in mapped.terms()} \
+            == {p.to_label(): c for c, p in h.terms()}
+
+
+class TestBackendProblem:
+    def test_positions_follow_final_layout(self):
+        h = ising_model(6, 1.0)
+        problem = VQEProblem.from_backend(h, FakeToronto())
+        final = problem.transpiled.final_layout
+        assert problem.positions == [final[q] for q in range(6)]
+
+    def test_eval_register_matches_noise_model(self):
+        problem = VQEProblem.from_backend(ising_model(5, 0.5), FakeNairobi())
+        assert problem.noise_model.num_qubits == problem.num_eval_qubits
+
+    def test_explicit_layout_forwarded(self):
+        backend = FakeToronto()
+        layout = [0, 1, 4, 7]
+        problem = VQEProblem.from_backend(ising_model(4, 1.0), backend,
+                                          layout=layout)
+        assert problem.transpiled.physical_qubits[
+            problem.transpiled.initial_layout[0]] == 0
+
+    def test_hardware_model_only_when_requested(self):
+        backend = FakeNairobi()
+        plain = VQEProblem.from_backend(ising_model(3, 1.0), backend)
+        assert plain.hardware_noise_model is None
+        with_twin = VQEProblem.from_backend(
+            ising_model(3, 1.0), backend,
+            hardware=backend.hardware_twin(seed=1))
+        assert with_twin.hardware_noise_model is not None
+        assert with_twin.hardware_noise_model.coherent_zz_angle_2q != 0.0
+
+    def test_wrong_noise_width_rejected(self):
+        with pytest.raises(ValueError):
+            VQEProblem.logical(ising_model(4, 1.0),
+                               noise_model=NoiseModel.noiseless(5))
+
+    def test_skeleton_keeps_routing_gates(self):
+        """Transpiled skeleton retains the SWAP-decomposed CX overhead --
+        these are exactly the noise locations Clapton accounts for."""
+        problem = VQEProblem.from_backend(ising_model(6, 1.0), FakeToronto())
+        skeleton = problem.skeleton()
+        assert skeleton.count_ops().get("cx", 0) > 6  # ring + routing

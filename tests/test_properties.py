@@ -1,0 +1,206 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin the algebraic invariants the whole reproduction rests on:
+similarity-transform spectrum preservation, inverse-cancellation of
+conjugations, monotonicity of noise attenuation, and structural invariants
+of the optimization engine -- each quantified over randomized inputs rather
+than hand-picked examples.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.circuits import (
+    Circuit,
+    clapton_transformation_circuit,
+    num_transformation_parameters,
+)
+from repro.core import transform_hamiltonian
+from repro.core.transformation import transformation_tableau
+from repro.hamiltonians import ising_model, xxz_model
+from repro.noise import CliffordNoiseModel, NoiseModel
+from repro.paulis import PauliSum, PauliTable, random_pauli
+from repro.stabilizer import CliffordTableau
+from repro.stabilizer.random_clifford import random_clifford_circuit
+
+genomes = st.integers(0, 2 ** 32 - 1)
+
+
+def random_hamiltonian(n, m, rng):
+    labels = ["".join(rng.choice(list("IXYZ"), size=n)) for _ in range(m)]
+    return PauliSum.from_terms([(float(rng.normal()), l) for l in labels])
+
+
+class TestTransformationProperties:
+    @given(st.integers(2, 5), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_spectrum_invariance(self, n, seed):
+        rng = np.random.default_rng(seed)
+        h = random_hamiltonian(n, 6, rng)
+        gamma = rng.integers(0, 4, size=num_transformation_parameters(n))
+        transformed = transform_hamiltonian(h, gamma)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(h.to_matrix()),
+            np.linalg.eigvalsh(transformed.to_matrix()), atol=1e-8)
+
+    @given(st.integers(2, 5), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_forward_backward_cancellation(self, n, seed):
+        """Anticonjugation followed by conjugation is the identity."""
+        rng = np.random.default_rng(seed)
+        gamma = rng.integers(0, 4, size=num_transformation_parameters(n))
+        circuit = clapton_transformation_circuit(gamma, n)
+        forward = CliffordTableau.from_circuit(circuit)
+        backward = transformation_tableau(gamma, n)
+        p = random_pauli(n, rng)
+        assert forward.conjugate_pauli(backward.conjugate_pauli(p)) == p
+
+    @given(st.integers(2, 4), genomes)
+    @settings(max_examples=20, deadline=None)
+    def test_coefficient_magnitudes_preserved(self, n, seed):
+        """Conjugation permutes terms and flips signs, never rescales."""
+        rng = np.random.default_rng(seed)
+        h = random_hamiltonian(n, 5, rng)
+        gamma = rng.integers(0, 4, size=num_transformation_parameters(n))
+        transformed = transform_hamiltonian(h, gamma)
+        assert transformed.num_terms == h.num_terms
+        np.testing.assert_allclose(
+            np.sort(np.abs(transformed.coefficients)),
+            np.sort(np.abs(h.coefficients)), atol=1e-12)
+
+    @given(st.integers(2, 4), genomes)
+    @settings(max_examples=20, deadline=None)
+    def test_double_transform_composes(self, n, seed):
+        """Transforming twice equals transforming by the composed circuit."""
+        rng = np.random.default_rng(seed)
+        h = random_hamiltonian(n, 4, rng)
+        g1 = rng.integers(0, 4, size=num_transformation_parameters(n))
+        g2 = rng.integers(0, 4, size=num_transformation_parameters(n))
+        step = transform_hamiltonian(transform_hamiltonian(h, g1), g2)
+        c1 = clapton_transformation_circuit(g1, n)
+        c2 = clapton_transformation_circuit(g2, n)
+        from repro.stabilizer import conjugate_pauli_sum
+
+        # C2†(C1† H C1)C2 = (C1 C2)† H (C1 C2); the circuit realizing the
+        # operator product C1*C2 applies C2 first, i.e. c2.compose(c1)
+        composed = conjugate_pauli_sum(c2.compose(c1), h)
+        a = {p.to_label(): c for c, p in step.terms()}
+        b = {p.to_label(): c for c, p in composed.terms()}
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key] == pytest.approx(b[key], abs=1e-10)
+
+
+class TestTableauGroupProperties:
+    @given(st.integers(1, 4), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_then_associative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        t1 = CliffordTableau.from_circuit(random_clifford_circuit(n, rng, 8))
+        t2 = CliffordTableau.from_circuit(random_clifford_circuit(n, rng, 8))
+        t3 = CliffordTableau.from_circuit(random_clifford_circuit(n, rng, 8))
+        assert t1.then(t2).then(t3) == t1.then(t2.then(t3))
+
+    @given(st.integers(1, 4), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_identity_neutral(self, n, seed):
+        rng = np.random.default_rng(seed)
+        t = CliffordTableau.from_circuit(random_clifford_circuit(n, rng, 10))
+        identity = CliffordTableau.identity(n)
+        assert t.then(identity) == t
+        assert identity.then(t) == t
+
+    @given(st.integers(1, 4), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_conjugation_is_linear_on_products(self, n, seed):
+        """C (PQ) C† = (C P C†)(C Q C†) including phases."""
+        rng = np.random.default_rng(seed)
+        t = CliffordTableau.from_circuit(random_clifford_circuit(n, rng, 10))
+        p, q = random_pauli(n, rng), random_pauli(n, rng)
+        assert t.conjugate_pauli(p * q) == \
+            t.conjugate_pauli(p) * t.conjugate_pauli(q)
+
+
+class TestNoiseProperties:
+    @given(st.floats(0.0, 0.05), st.floats(0.0, 0.05), genomes)
+    @settings(max_examples=25, deadline=None)
+    def test_attenuation_monotone_in_gate_error(self, p_small, p_extra, seed):
+        """More depolarizing noise never increases |noisy energy| of a fixed
+        Z-type observable at theta = 0."""
+        rng = np.random.default_rng(seed)
+        n = 4
+        from repro.circuits import ansatz_skeleton
+
+        circ = ansatz_skeleton(n)
+        h = PauliSum.from_terms([(1.0, "ZZZZ"), (0.5, "ZIIZ")])
+        nm1 = NoiseModel.uniform(n, depol_1q=p_small, depol_2q=p_small,
+                                 readout=0.0, t1=None)
+        nm2 = NoiseModel.uniform(n, depol_1q=p_small + p_extra,
+                                 depol_2q=p_small + p_extra,
+                                 readout=0.0, t1=None)
+        v1 = CliffordNoiseModel(nm1).noisy_zero_state_energy(circ, h)
+        v2 = CliffordNoiseModel(nm2).noisy_zero_state_energy(circ, h)
+        assert abs(v2) <= abs(v1) + 1e-12
+
+    @given(st.floats(0.0, 0.4), st.floats(0.0, 0.4))
+    @settings(max_examples=25, deadline=None)
+    def test_readout_attenuation_formula(self, p01, p10):
+        nm = NoiseModel(num_qubits=1, depol_1q=0.0, depol_2q_default=0.0,
+                        readout_p01=np.array([p01]),
+                        readout_p10=np.array([p10]))
+        assert nm.readout_z_attenuation()[0] == pytest.approx(1 - p01 - p10)
+        assert nm.symmetric_readout_flip()[0] == pytest.approx((p01 + p10) / 2)
+
+    @given(st.floats(1e-7, 5e-4), st.floats(1e-5, 3e-4))
+    @settings(max_examples=25, deadline=None)
+    def test_twirled_relaxation_valid_distribution(self, duration, t1):
+        from repro.noise import twirled_relaxation_probabilities
+
+        t2 = 1.5 * t1
+        probs = twirled_relaxation_probabilities(duration, t1, min(t2, 2 * t1))
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (probs >= -1e-12).all()
+
+    @given(st.integers(2, 5), genomes)
+    @settings(max_examples=15, deadline=None)
+    def test_noiseless_model_is_exact_expectation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        circ = random_clifford_circuit(n, rng, 10)
+        h = random_hamiltonian(n, 5, rng)
+        from repro.stabilizer import clifford_state_expectation
+
+        model = CliffordNoiseModel(NoiseModel.noiseless(n))
+        assert model.noisy_zero_state_energy(circ, h) == pytest.approx(
+            clifford_state_expectation(circ, h), abs=1e-9)
+
+
+class TestHamiltonianProperties:
+    @given(st.integers(2, 8), st.floats(0.05, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_spin_models_hermitian_and_bounded(self, n, coupling):
+        for h in (ising_model(n, coupling), xxz_model(n, coupling)):
+            # energy of |0...0> must lie within the extremal eigenvalues
+            from repro.hamiltonians import ground_state_energy
+
+            e0 = ground_state_energy(h)
+            zero = h.expectation_all_zeros()
+            assert e0 <= zero + 1e-9
+            total_weight = float(np.abs(h.coefficients).sum())
+            assert abs(e0) <= total_weight + 1e-9
+
+    @given(st.integers(2, 6), st.floats(0.05, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ising_zero_state_energy_closed_form(self, n, coupling):
+        """<0|H_ising|0> = n (all Z terms +1, XX terms vanish)."""
+        h = ising_model(n, coupling)
+        assert h.expectation_all_zeros() == pytest.approx(n)
+
+    @given(st.integers(2, 6), st.floats(0.05, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_xxz_zero_state_energy_closed_form(self, n, coupling):
+        """<0|H_xxz|0> = n - 1 (ZZ bonds +1, XX/YY vanish)."""
+        h = xxz_model(n, coupling)
+        assert h.expectation_all_zeros() == pytest.approx(n - 1)

@@ -1,0 +1,105 @@
+"""Tests for Hamiltonian serialization and random Clifford utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hamiltonians import ground_state_energy, ising_model, xxz_model
+from repro.paulis import PauliSum
+from repro.paulis.serialization import (
+    load_pauli_sum,
+    pauli_sum_from_dict,
+    pauli_sum_to_dict,
+    save_pauli_sum,
+)
+from repro.stabilizer import CliffordTableau
+from repro.stabilizer.random_clifford import (
+    random_clifford_circuit,
+    random_clifford_tableau,
+    random_pauli_frame,
+)
+
+
+class TestSerialization:
+    def test_roundtrip_spin_model(self):
+        h = xxz_model(5, 0.5)
+        restored = pauli_sum_from_dict(pauli_sum_to_dict(h))
+        assert restored.num_qubits == h.num_qubits
+        assert restored.num_terms == h.num_terms
+        assert ground_state_energy(restored) == pytest.approx(
+            ground_state_energy(h))
+
+    def test_roundtrip_file(self, tmp_path):
+        h = ising_model(4, 0.25)
+        path = tmp_path / "ising.json"
+        save_pauli_sum(h, path)
+        restored = load_pauli_sum(path)
+        a = {p.to_label(): c for c, p in h.terms()}
+        b = {p.to_label(): c for c, p in restored.terms()}
+        assert a == pytest.approx(b)
+
+    def test_negative_coefficients_roundtrip(self):
+        h = PauliSum.from_terms([(-1.5, "XY"), (0.25, "ZI")])
+        restored = pauli_sum_from_dict(pauli_sum_to_dict(h))
+        labels = {p.to_label(): c for c, p in restored.terms()}
+        assert labels == pytest.approx({"XY": -1.5, "ZI": 0.25})
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError):
+            pauli_sum_from_dict({"format": "other"})
+        with pytest.raises(ValueError):
+            pauli_sum_from_dict({"format": "repro-pauli-sum", "version": 99})
+        with pytest.raises(ValueError):
+            pauli_sum_from_dict({"format": "repro-pauli-sum", "version": 1,
+                                 "num_qubits": 3,
+                                 "terms": [[1.0, "XX"]]})
+
+    @given(st.lists(st.tuples(st.floats(-3, 3, allow_nan=False),
+                              st.text("IXYZ", min_size=4, max_size=4)),
+                    min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, terms):
+        h = PauliSum.from_terms(terms)
+        restored = pauli_sum_from_dict(pauli_sum_to_dict(h))
+        a = {p.to_label(): c for c, p in h.terms()}
+        b = {p.to_label(): c for c, p in restored.terms()}
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key] == pytest.approx(b[key], abs=1e-12)
+
+
+class TestRandomClifford:
+    def test_circuit_is_clifford(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 4):
+            circ = random_clifford_circuit(n, rng)
+            assert circ.is_clifford()
+
+    def test_tableau_preserves_group_structure(self):
+        """Random tableaus map commuting pairs to commuting pairs."""
+        from repro.paulis import random_pauli
+
+        rng = np.random.default_rng(1)
+        tableau = random_clifford_tableau(4, rng)
+        for _ in range(10):
+            a, b = random_pauli(4, rng), random_pauli(4, rng)
+            assert (a.commutes_with(b)
+                    == tableau.conjugate_pauli(a).commutes_with(
+                        tableau.conjugate_pauli(b)))
+
+    def test_depth_default_scales(self):
+        rng = np.random.default_rng(2)
+        assert len(random_clifford_circuit(8, rng)) > \
+            len(random_clifford_circuit(2, rng))
+
+    def test_pauli_frame_is_pauli_layer(self):
+        rng = np.random.default_rng(3)
+        frame = random_pauli_frame(5, rng)
+        assert all(inst.name in ("x", "y", "z") for inst in frame.instructions)
+        assert frame.is_clifford()
+
+    def test_seeded_reproducibility(self):
+        a = random_clifford_circuit(3, np.random.default_rng(7))
+        b = random_clifford_circuit(3, np.random.default_rng(7))
+        assert [(i.name, i.qubits) for i in a.instructions] \
+            == [(i.name, i.qubits) for i in b.instructions]

@@ -1,0 +1,185 @@
+"""Tests for layout search, routing, and the transpile pipeline.
+
+The semantic-preservation tests are the load-bearing ones: a transpiled
+Clifford circuit, evaluated against the final-layout-mapped Hamiltonian,
+must give exactly the logical circuit's energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeLine, FakeNairobi, FakeToronto
+from repro.circuits import Circuit, hardware_efficient_ansatz
+from repro.paulis import PauliSum
+from repro.stabilizer import clifford_state_expectation
+from repro.transpiler import (
+    decompose_swaps,
+    embed_pauli_sum,
+    find_line_layout,
+    route_circuit,
+    transpile,
+)
+
+
+class TestLayout:
+    def test_line_on_line(self):
+        backend = FakeLine(8)
+        path = find_line_layout(backend, 8)
+        assert sorted(path) == list(range(8))
+        for a, b in zip(path, path[1:]):
+            assert backend.graph.has_edge(a, b)
+
+    def test_nairobi_7q_line(self):
+        backend = FakeNairobi()
+        path = find_line_layout(backend, 5)
+        assert len(set(path)) == 5
+        for a, b in zip(path, path[1:]):
+            assert backend.graph.has_edge(a, b)
+
+    def test_single_qubit_layout_picks_best_readout(self):
+        backend = FakeNairobi()
+        (q,) = find_line_layout(backend, 1)
+        readout = backend.calibration.readout_p01 + backend.calibration.readout_p10
+        assert q == int(np.argmin(readout))
+
+    def test_impossible_length_raises(self):
+        with pytest.raises(ValueError):
+            find_line_layout(FakeNairobi(), 8)
+        with pytest.raises(ValueError):
+            # nairobi has no simple path covering all 7 qubits (star at 1, 5)
+            find_line_layout(FakeNairobi(), 7)
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        backend = FakeLine(4)
+        circ = Circuit(3)
+        circ.cx(0, 1).cx(1, 2)
+        result = route_circuit(circ, backend.graph, {0: 0, 1: 1, 2: 2})
+        assert result.num_swaps == 0
+        assert result.final_layout == {0: 0, 1: 1, 2: 2}
+
+    def test_distant_gate_gets_swaps(self):
+        backend = FakeLine(5)
+        circ = Circuit(2)
+        circ.cx(0, 1)
+        result = route_circuit(circ, backend.graph, {0: 0, 1: 4})
+        assert result.num_swaps == 3
+        # logical 0 walked down the line to sit next to physical 4
+        assert result.final_layout[0] == 3
+        assert result.final_layout[1] == 4
+
+    def test_duplicate_placement_rejected(self):
+        backend = FakeLine(3)
+        with pytest.raises(ValueError):
+            route_circuit(Circuit(2), backend.graph, {0: 1, 1: 1})
+
+    def test_decompose_swaps(self):
+        circ = Circuit(3)
+        circ.swap(0, 2).h(1)
+        out = decompose_swaps(circ)
+        assert out.count_ops() == {"cx": 3, "h": 1}
+        np.testing.assert_allclose(out.unitary(), circ.unitary(), atol=1e-12)
+
+    def test_routing_preserves_clifford_semantics(self):
+        """Routed circuit + final layout == logical circuit, exactly."""
+        rng = np.random.default_rng(0)
+        backend = FakeLine(6)
+        circ = Circuit(4)
+        circ.h(0).cx(0, 3).s(2).cx(3, 1).cx(2, 0).cx(1, 2)
+        layout = {0: 0, 1: 2, 2: 4, 3: 5}
+        result = route_circuit(circ, backend.graph, layout)
+        h = PauliSum.from_terms(
+            [(float(rng.normal()), "".join(rng.choice(list("IXYZ"), size=4)))
+             for _ in range(8)])
+        logical_energy = clifford_state_expectation(circ, h)
+        positions = [result.final_layout[q] for q in range(4)]
+        h_phys = embed_pauli_sum(h, positions, 6)
+        routed_energy = clifford_state_expectation(result.circuit, h_phys)
+        assert routed_energy == pytest.approx(logical_energy, abs=1e-9)
+
+
+class TestTranspile:
+    @pytest.mark.parametrize("n,backend_factory", [
+        (4, FakeNairobi), (6, FakeToronto), (10, FakeToronto)])
+    def test_ansatz_transpiles_and_respects_coupling(self, n, backend_factory):
+        backend = backend_factory()
+        ansatz = hardware_efficient_ansatz(n)
+        result = transpile(ansatz, backend)
+        assert result.num_qubits <= backend.num_qubits
+        # every 2q gate on a coupled pair (in physical ids)
+        for inst in result.circuit.instructions:
+            if len(inst.qubits) == 2:
+                pa = result.physical_qubits[inst.qubits[0]]
+                pb = result.physical_qubits[inst.qubits[1]]
+                assert backend.graph.has_edge(pa, pb)
+        # symbolic parameters preserved
+        assert result.circuit.num_parameters == ansatz.num_parameters
+
+    def test_semantics_preserved_clifford(self):
+        """theta at Clifford angles: logical and transpiled energies match."""
+        rng = np.random.default_rng(7)
+        n = 5
+        backend = FakeToronto()
+        ansatz = hardware_efficient_ansatz(n)
+        result = transpile(ansatz, backend)
+        theta = rng.integers(0, 4, size=4 * n) * np.pi / 2
+        h = PauliSum.from_terms(
+            [(float(rng.normal()), "".join(rng.choice(list("IXYZ"), size=n)))
+             for _ in range(12)])
+        logical = clifford_state_expectation(ansatz.bind(theta), h)
+        physical = clifford_state_expectation(
+            result.circuit.bind(theta), result.map_hamiltonian(h))
+        assert physical == pytest.approx(logical, abs=1e-9)
+
+    def test_noise_model_matches_compact_register(self):
+        backend = FakeToronto()
+        result = transpile(hardware_efficient_ansatz(6), backend)
+        nm = result.noise_model()
+        assert nm.num_qubits == result.num_qubits
+        sel = result.physical_qubits
+        np.testing.assert_allclose(nm.depol_1q,
+                                   backend.calibration.error_1q[sel])
+
+    def test_explicit_layout(self):
+        backend = FakeLine(6)
+        result = transpile(hardware_efficient_ansatz(4), backend,
+                           layout=[2, 3, 4, 5])
+        assert result.initial_layout[0] == result.physical_qubits.index(2)
+
+    def test_swap_count_positive_for_circular_on_line(self):
+        """The wrap-around CX cannot be placed on a pure line without SWAPs."""
+        backend = FakeLine(8)
+        result = transpile(hardware_efficient_ansatz(8), backend)
+        assert result.num_swaps > 0
+
+    def test_embed_pauli_sum_validation(self):
+        h = PauliSum.from_terms([(1.0, "XZ")])
+        with pytest.raises(ValueError):
+            embed_pauli_sum(h, [0, 0], 3)
+
+
+class TestChainLayoutFallback:
+    def test_nairobi_full_device(self):
+        """nairobi has no 7-node simple path; the fallback must still place
+        the paper's 7-qubit physics benchmarks."""
+        from repro.transpiler import find_chain_layout
+
+        backend = FakeNairobi()
+        layout = find_chain_layout(backend, 7)
+        assert sorted(layout) == list(range(7))
+
+    def test_full_nairobi_ansatz_transpiles_with_semantics(self):
+        rng = np.random.default_rng(3)
+        n = 7
+        backend = FakeNairobi()
+        ansatz = hardware_efficient_ansatz(n)
+        result = transpile(ansatz, backend)
+        theta = rng.integers(0, 4, size=4 * n) * np.pi / 2
+        h = PauliSum.from_terms(
+            [(float(rng.normal()), "".join(rng.choice(list("IXYZ"), size=n)))
+             for _ in range(10)])
+        logical = clifford_state_expectation(ansatz.bind(theta), h)
+        physical = clifford_state_expectation(
+            result.circuit.bind(theta), result.map_hamiltonian(h))
+        assert physical == pytest.approx(logical, abs=1e-9)
