@@ -8,28 +8,26 @@ initialization and report final points and relative improvements.
 Run:  python examples/ising_error_mitigation.py
 """
 
-from repro import FakeNairobi, VQEProblem, ground_state_energy, xxz_model
-from repro.experiments import SMOKE_ENGINE, compare_initializations
+from repro import Experiment, FakeNairobi, xxz_model
+from repro.experiments import SMOKE_ENGINE
 from repro.metrics import gap_reduction_percent
 
 
 def main() -> None:
     hamiltonian = xxz_model(6, coupling=0.5)
-    e0 = ground_state_energy(hamiltonian)
     backend = FakeNairobi()
-    problem = VQEProblem.from_backend(hamiltonian, backend)
-    print(f"6-qubit XXZ (J=0.5) on {backend.name}; E0 = {e0:.4f}")
+    experiment = Experiment(hamiltonian, backend=backend, name="xxz_J0.50")
+    print(f"6-qubit XXZ (J=0.5) on {backend.name}")
     print("running cafqa / ncafqa / clapton + 40 VQE iterations each...\n")
-
-    row = compare_initializations("xxz_J0.50", hamiltonian, problem,
-                                  config=SMOKE_ENGINE, vqe_iterations=40)
+    row = experiment.run(config=SMOKE_ENGINE, vqe_iterations=40)
+    print(f"E0 = {row.e0:.4f}")
 
     header = (f"{'method':<10} {'init noise-free':>16} {'init device':>12} "
               f"{'final device':>13}")
     print(header)
     for method in ("cafqa", "ncafqa", "clapton"):
-        ev = row.evaluations[method]
-        trace = row.vqe[method]
+        ev = row.runs[method].evaluation
+        trace = row.runs[method].vqe
         print(f"{method:<10} {ev.noiseless:>16.4f} {ev.device_model:>12.4f} "
               f"{trace.final_energy:>13.4f}")
 
@@ -43,7 +41,7 @@ def main() -> None:
 
     print("\nVQE convergence (device-model loss estimates, every 8th iter):")
     for method in ("cafqa", "ncafqa", "clapton"):
-        samples = row.vqe[method].history[::8]
+        samples = row.runs[method].vqe.history[::8]
         rendered = " ".join(f"{v:7.3f}" for v in samples)
         print(f"  {method:<8} {rendered}")
 

@@ -10,10 +10,17 @@ Run:  python examples/measurement_pipeline.py
 
 import numpy as np
 
-from repro import NoiseModel, VQEProblem, clapton, ground_state_energy, xxz_model
+from repro import (
+    NoiseModel,
+    VQEProblem,
+    clapton,
+    ground_state_energy,
+    make_estimator,
+    xxz_model,
+)
 from repro.experiments import SMOKE_ENGINE
 from repro.mitigation import zne_energy
-from repro.vqe import CountsEnergyEstimator, EnergyEstimator, num_measurement_bases
+from repro.vqe import num_measurement_bases
 
 
 def main() -> None:
@@ -33,14 +40,17 @@ def main() -> None:
     observable = result.initial_observable()
     theta = result.initial_theta
 
-    exact = EnergyEstimator(problem, observable)
-    reference = exact.energy(theta)
-    print(f"\nexact noisy energy of the Clapton initial point: {reference:.4f}")
+    exact = make_estimator(problem, observable, mode="exact")
+    reference = exact.estimate(theta)
+    print(f"\nexact noisy energy of the Clapton initial point: "
+          f"{reference.value:.4f} ({reference.seconds * 1e3:.1f} ms)")
 
     for shots in (512, 4096, 32768):
-        raw = CountsEnergyEstimator(problem, observable, shots=shots, seed=1)
-        mitigated = CountsEnergyEstimator(problem, observable, shots=shots,
-                                          seed=1, readout_mitigation=True)
+        raw = make_estimator(problem, observable, mode="shots",
+                             shots=shots, seed=1)
+        mitigated = make_estimator(problem, observable, mode="shots",
+                                   shots=shots, seed=1,
+                                   readout_mitigation=True)
         print(f"shots={shots:>6}: sampled {raw.energy(theta):8.4f}   "
               f"readout-mitigated {mitigated.energy(theta):8.4f}")
 

@@ -1,61 +1,47 @@
 """Quickstart: mitigate device noise on a small Ising VQE with Clapton.
 
 Runs the full pipeline on a 5-qubit transverse-field Ising chain against the
-7-qubit nairobi device model: transpile, search for the Clifford problem
-transformation, and compare the initial-point quality against the CAFQA
-baseline under three noise tiers.
+7-qubit nairobi device model through the ``Experiment`` façade: transpile,
+search for the Clifford problem transformation, and compare the
+initial-point quality against the CAFQA baseline under three noise tiers.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    FakeNairobi,
-    VQEProblem,
-    cafqa,
-    clapton,
-    evaluate_initial_point,
-    ground_state_energy,
-    ising_model,
-    relative_improvement,
-)
+from repro import Experiment, FakeNairobi, ising_model
 from repro.experiments import SMOKE_ENGINE
 
 
 def main() -> None:
     hamiltonian = ising_model(5, coupling=1.0)
-    e0 = ground_state_energy(hamiltonian)
-    print(f"5-qubit Ising chain (J=1.0), exact ground energy E0 = {e0:.4f}")
-
     backend = FakeNairobi()
-    problem = VQEProblem.from_backend(hamiltonian, backend)
-    print(f"transpiled onto {backend.name}: physical qubits "
-          f"{problem.transpiled.physical_qubits}, "
+    experiment = Experiment(hamiltonian, backend=backend, name="ising5")
+    problem = experiment.problem
+    print(f"5-qubit Ising chain (J=1.0) transpiled onto {backend.name}: "
+          f"physical qubits {problem.transpiled.physical_qubits}, "
           f"{problem.transpiled.num_swaps} routing SWAPs")
 
     print("\nsearching initializations (reduced engine budget)...")
-    results = {
-        "cafqa": cafqa(problem, config=SMOKE_ENGINE),
-        "clapton": clapton(problem, config=SMOKE_ENGINE),
-    }
+    result = experiment.run(methods=("cafqa", "clapton"),
+                            config=SMOKE_ENGINE)
+    print(f"exact ground energy E0 = {result.e0:.4f}")
 
     print(f"\n{'method':<10} {'noise-free':>11} {'clifford':>10} {'device':>10}")
-    evaluations = {}
-    for name, result in results.items():
-        ev = evaluate_initial_point(result)
-        evaluations[name] = ev
+    for name, run in result.runs.items():
+        ev = run.evaluation
         print(f"{name:<10} {ev.noiseless:>11.4f} {ev.clifford_model:>10.4f} "
               f"{ev.device_model:>10.4f}")
 
-    eta = relative_improvement(e0, evaluations["cafqa"].device_model,
-                               evaluations["clapton"].device_model)
+    eta = result.eta_initial("cafqa")
     print(f"\nrelative improvement (eta, Eq. 14) of Clapton over CAFQA "
           f"under device-model evaluation: {eta:.2f}x")
 
-    gamma = results["clapton"].genome
+    clapton_result = result.results["clapton"]
+    gamma = clapton_result.genome
     print(f"\nClapton transformation genome gamma = {np.array2string(gamma)}")
-    transformed = results["clapton"].vqe_hamiltonian
+    transformed = clapton_result.vqe_hamiltonian
     print(f"transformed Hamiltonian: {transformed.num_terms} terms, "
           f"<0|H^|0> = {transformed.expectation_all_zeros():.4f} "
           f"(original <0|H|0> = {hamiltonian.expectation_all_zeros():.4f})")

@@ -5,15 +5,29 @@ Quantum Algorithms -- built from scratch on this package's own stabilizer
 engine, density-matrix simulator, device models, transpiler, optimizers, and
 quantum-chemistry pipeline.
 
-Quickstart::
+Quickstart (the ``Experiment`` façade runs methods end to end)::
 
-    from repro import (FakeToronto, VQEProblem, clapton, cafqa,
-                       evaluate_initial_point, xxz_model)
+    from repro import Experiment, FakeToronto, xxz_model
+    from repro.experiments import FAST_ENGINE
 
-    hamiltonian = xxz_model(10, 0.5)
-    problem = VQEProblem.from_backend(hamiltonian, FakeToronto())
-    result = clapton(problem)
-    print(evaluate_initial_point(result).device_model)
+    result = Experiment(xxz_model(10, 0.5), backend=FakeToronto()) \\
+        .run(methods=("cafqa", "clapton"), config=FAST_ENGINE)
+    print(result.runs["clapton"].evaluation.device_model)
+    print(result.eta_initial("cafqa"))
+
+Energy estimation goes through one batched protocol::
+
+    from repro import make_estimator
+
+    estimator = make_estimator(problem, observable, mode="exact")
+    batch = estimator.estimate_many(thetas)       # shares circuit setup
+    print(batch.values)
+
+and round-level parallelism everywhere is a one-argument switch::
+
+    from repro import ProcessExecutor
+
+    Experiment(...).run(config=..., executor=ProcessExecutor(8))
 """
 
 from .paulis import PauliString, PauliSum, PauliTable
@@ -28,6 +42,20 @@ from .densesim import DensityMatrixSimulator, noiseless_energy, noisy_energy, si
 from .noise import CliffordNoiseModel, NoiseModel
 from .backends import Backend, FakeHanoi, FakeLine, FakeMumbai, FakeNairobi, FakeToronto
 from .transpiler import TranspileResult, transpile
+from .execution import (
+    BatchResult,
+    CliffordEstimator,
+    EstimateResult,
+    Estimator,
+    ExactEstimator,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ShotSamplingEstimator,
+    ThreadExecutor,
+    make_estimator,
+    memoize_loss,
+)
 from .optim import EngineConfig, GAConfig, SPSAConfig, minimize_spsa, multi_ga_minimize
 from .core import (
     InitializationResult,
@@ -39,6 +67,7 @@ from .core import (
     transform_hamiltonian,
 )
 from .vqe import EnergyEstimator, VQETrace, run_vqe
+from .experiments import Experiment, ExperimentResult
 from .hamiltonians import (
     ground_state_energy,
     ising_model,
@@ -47,19 +76,23 @@ from .hamiltonians import (
 )
 from .metrics import geometric_mean, normalized_energy, relative_improvement
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Backend", "Circuit", "CliffordNoiseModel", "CliffordTableau",
-    "DensityMatrixSimulator", "EnergyEstimator", "EngineConfig",
+    "Backend", "BatchResult", "Circuit", "CliffordEstimator",
+    "CliffordNoiseModel", "CliffordTableau", "DensityMatrixSimulator",
+    "EnergyEstimator", "EngineConfig", "EstimateResult", "Estimator",
+    "ExactEstimator", "Executor", "Experiment", "ExperimentResult",
     "FakeHanoi", "FakeLine", "FakeMumbai", "FakeNairobi", "FakeToronto",
     "GAConfig", "InitializationResult", "NoiseModel", "Parameter",
-    "PauliString", "PauliSum", "PauliTable", "SPSAConfig",
-    "StabilizerSimulator", "TranspileResult", "VQEProblem", "VQETrace",
-    "cafqa", "clapton", "clapton_transformation_circuit",
-    "clifford_state_expectation", "evaluate_initial_point",
-    "geometric_mean", "ground_state_energy", "hardware_efficient_ansatz",
-    "ising_model", "minimize_spsa", "multi_ga_minimize", "ncafqa",
+    "PauliString", "PauliSum", "PauliTable", "ProcessExecutor",
+    "SPSAConfig", "SerialExecutor", "ShotSamplingEstimator",
+    "StabilizerSimulator", "ThreadExecutor", "TranspileResult",
+    "VQEProblem", "VQETrace", "cafqa", "clapton",
+    "clapton_transformation_circuit", "clifford_state_expectation",
+    "evaluate_initial_point", "geometric_mean", "ground_state_energy",
+    "hardware_efficient_ansatz", "ising_model", "make_estimator",
+    "memoize_loss", "minimize_spsa", "multi_ga_minimize", "ncafqa",
     "noiseless_energy", "noisy_energy", "normalized_energy",
     "paper_benchmarks", "relative_improvement", "run_vqe",
     "simulate_statevector", "transform_hamiltonian", "transpile",

@@ -1,11 +1,12 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Thin wrappers over the library for quick exploration:
+Thin wrappers over the :class:`~repro.experiments.Experiment` façade for
+quick exploration:
 
-    python -m repro list                      # benchmark suite
-    python -m repro ground-energy xxz_J0.50   # exact E0
-    python -m repro run ising_J1.00 --backend nairobi --method clapton
-    python -m repro molecule LiH 1.5          # chemistry pipeline summary
+    repro list                      # benchmark suite
+    repro ground-energy xxz_J0.50   # exact E0
+    repro run ising_J1.00 --backend nairobi --method clapton --jobs 4
+    repro molecule LiH 1.5          # chemistry pipeline summary
 """
 
 from __future__ import annotations
@@ -34,12 +35,11 @@ def _cmd_ground_energy(args) -> int:
 
 def _cmd_run(args) -> int:
     from .backends import ALL_BACKENDS
-    from .core import VQEProblem, cafqa, clapton, evaluate_initial_point, ncafqa
-    from .experiments import bench_engine
-    from .hamiltonians import get_benchmark, ground_state_energy
+    from .execution import ProcessExecutor
+    from .experiments import METHODS, Experiment, bench_engine
+    from .hamiltonians import get_benchmark
 
-    drivers = {"cafqa": cafqa, "ncafqa": ncafqa, "clapton": clapton}
-    if args.method not in drivers:
+    if args.method not in METHODS:
         print(f"unknown method {args.method!r}", file=sys.stderr)
         return 2
     if args.backend not in ALL_BACKENDS:
@@ -48,19 +48,38 @@ def _cmd_run(args) -> int:
     backend = ALL_BACKENDS[args.backend]()
     num_qubits = args.qubits
     hamiltonian = get_benchmark(args.benchmark, num_qubits).hamiltonian()
-    problem = VQEProblem.from_backend(hamiltonian, backend)
     print(f"{args.benchmark} ({num_qubits}q) on {backend.name}, "
           f"method={args.method}")
-    result = drivers[args.method](problem, config=bench_engine())
-    evaluation = evaluate_initial_point(result)
-    e0 = ground_state_energy(hamiltonian)
-    print(f"E0              = {e0:.6f}")
+    executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
+    experiment = Experiment(hamiltonian, backend=backend,
+                            name=args.benchmark)
+    try:
+        result = experiment.run(methods=(args.method,),
+                                config=bench_engine(),
+                                vqe_iterations=args.vqe_iterations,
+                                executor=executor)
+    finally:
+        if executor is not None:
+            executor.close()
+    run = result.runs[args.method]
+    evaluation = run.evaluation
+    print(f"E0              = {result.e0:.6f}")
     print(f"noise-free      = {evaluation.noiseless:.6f}")
     print(f"clifford model  = {evaluation.clifford_model:.6f}")
     print(f"device model    = {evaluation.device_model:.6f}")
-    print(f"engine: {result.engine.num_rounds} rounds, "
-          f"{result.engine.num_evaluations} evaluations, "
-          f"{result.engine.total_seconds:.1f}s")
+    if run.vqe is not None:
+        print(f"VQE final       = {run.vqe.final_energy:.6f} "
+              f"({run.vqe.num_evaluations} evaluations: "
+              f"{run.vqe.evaluations_by_tier})")
+    print(f"engine: {run.engine_rounds} rounds, "
+          f"{run.engine_evaluations} evaluations, "
+          f"{run.engine_seconds:.1f}s")
+    if args.save:
+        import json
+
+        with open(args.save, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"saved to {args.save}")
     return 0
 
 
@@ -103,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--backend", default="toronto")
     p_run.add_argument("--method", default="clapton")
     p_run.add_argument("--qubits", type=int, default=6)
+    p_run.add_argument("--vqe-iterations", type=int, default=0,
+                       help="SPSA iterations of the online VQE phase")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the engine's GA rounds")
+    p_run.add_argument("--save", help="write the ExperimentResult JSON here")
     p_run.set_defaults(fn=_cmd_run)
 
     p_mol = sub.add_parser("molecule", help="build a molecular Hamiltonian")

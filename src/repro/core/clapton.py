@@ -71,8 +71,8 @@ class InitializationResult:
 
 def clapton(problem: VQEProblem, config: EngineConfig | None = None,
             clifford_model: CliffordNoiseModel | None = None,
-            noisy_weight: float = 1.0, noiseless_weight: float = 1.0
-            ) -> InitializationResult:
+            noisy_weight: float = 1.0, noiseless_weight: float = 1.0,
+            executor=None) -> InitializationResult:
     """Run the Clapton transformation search (Sec. 4.1).
 
     Args:
@@ -81,12 +81,15 @@ def clapton(problem: VQEProblem, config: EngineConfig | None = None,
             s=10 / m=100 / k=20 / |S|=100 working point.
         clifford_model: Override the L_N noise projection (ablations).
         noisy_weight / noiseless_weight: Cost-term weights (ablations).
+        executor: Execution backend for the engine's GA rounds (any
+            :mod:`repro.execution` executor); serial by default.
     """
     loss = ClaptonLoss(problem, clifford_model=clifford_model,
                        noisy_weight=noisy_weight,
                        noiseless_weight=noiseless_weight)
     engine = multi_ga_minimize(loss, problem.num_transformation_parameters,
-                               num_values=4, config=config)
+                               num_values=4, config=config,
+                               executor=executor)
     gamma = engine.best_genome
     return InitializationResult(
         method="clapton",
@@ -102,12 +105,13 @@ def clapton(problem: VQEProblem, config: EngineConfig | None = None,
 
 def _cafqa_like(problem: VQEProblem, noise_aware: bool,
                 config: EngineConfig | None,
-                clifford_model: CliffordNoiseModel | None
-                ) -> InitializationResult:
+                clifford_model: CliffordNoiseModel | None,
+                executor=None) -> InitializationResult:
     loss = CafqaLoss(problem, noise_aware=noise_aware,
                      clifford_model=clifford_model)
     engine = multi_ga_minimize(loss, problem.num_vqe_parameters,
-                               num_values=4, config=config)
+                               num_values=4, config=config,
+                               executor=executor)
     genome = engine.best_genome
     return InitializationResult(
         method="ncafqa" if noise_aware else "cafqa",
@@ -120,16 +124,16 @@ def _cafqa_like(problem: VQEProblem, noise_aware: bool,
     )
 
 
-def cafqa(problem: VQEProblem, config: EngineConfig | None = None
-          ) -> InitializationResult:
+def cafqa(problem: VQEProblem, config: EngineConfig | None = None,
+          executor=None) -> InitializationResult:
     """The CAFQA baseline: noiseless Clifford search over ansatz angles."""
     return _cafqa_like(problem, noise_aware=False, config=config,
-                       clifford_model=None)
+                       clifford_model=None, executor=executor)
 
 
 def ncafqa(problem: VQEProblem, config: EngineConfig | None = None,
-           clifford_model: CliffordNoiseModel | None = None
-           ) -> InitializationResult:
+           clifford_model: CliffordNoiseModel | None = None,
+           executor=None) -> InitializationResult:
     """Noise-aware CAFQA: the paper's strengthened baseline (Sec. 5.2)."""
     return _cafqa_like(problem, noise_aware=True, config=config,
-                       clifford_model=clifford_model)
+                       clifford_model=clifford_model, executor=executor)

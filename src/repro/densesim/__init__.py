@@ -7,6 +7,7 @@ from .statevector import (
     simulate_statevector,
 )
 from .density_matrix import DensityMatrixSimulator
+from .batched import BatchedDensityMatrixSimulator, evolve_steps_with_noise
 from . import channels
 from .evaluator import (
     evolve_with_noise,
@@ -16,7 +17,8 @@ from .evaluator import (
 )
 
 __all__ = [
-    "DensityMatrixSimulator", "apply_matrix", "channels",
+    "BatchedDensityMatrixSimulator", "DensityMatrixSimulator",
+    "apply_matrix", "channels", "evolve_steps_with_noise",
     "evolve_with_noise", "measurement_attenuations", "noiseless_energy",
     "noisy_energy", "pauli_expectation", "pauli_sum_expectation",
     "simulate_statevector",

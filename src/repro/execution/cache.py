@@ -1,0 +1,80 @@
+"""Shared loss memoisation that works under every executor.
+
+Converging GA populations re-propose identical genomes constantly, so every
+evaluation surface wants a ``genome -> loss`` memo table.  The table here is
+a plain ``bytes -> float`` dict (the same representation
+:class:`~repro.optim.genetic.GeneticAlgorithm` uses internally), wrapped so
+that the Figure-4 engine can ship snapshots to worker threads/processes and
+merge the new entries back after each round -- the serial, threaded, and
+multi-process paths all share one cache discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def genome_key(genome) -> bytes:
+    """Canonical dict key of an integer genome (shared with the GA)."""
+    return np.ascontiguousarray(genome, dtype=np.int64).tobytes()
+
+
+class MemoizedLoss:
+    """Picklable memoising wrapper around a loss function.
+
+    The wrapper is callable in place of the loss and exposes the underlying
+    table for sharing: pass :attr:`cache` to a
+    :class:`~repro.optim.genetic.GeneticAlgorithm`, ship :meth:`snapshot`
+    copies to workers, and fold their discoveries back with :meth:`merge`.
+
+    Args:
+        loss_fn: Maps a genome (1-D int array) to a float loss.
+        cache: Optional existing table to adopt (not copied).
+    """
+
+    def __init__(self, loss_fn: Callable[[np.ndarray], float],
+                 cache: dict[bytes, float] | None = None):
+        self.loss_fn = loss_fn
+        self.cache: dict[bytes, float] = {} if cache is None else cache
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, genome) -> float:
+        key = genome_key(genome)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        value = float(self.loss_fn(genome))
+        self.cache[key] = value
+        self.misses += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def snapshot(self) -> dict[bytes, float]:
+        """Copy of the table, safe to ship to a worker."""
+        return dict(self.cache)
+
+    def merge(self, entries: dict[bytes, float]) -> None:
+        """Fold entries discovered elsewhere (a worker) into the table."""
+        self.cache.update(entries)
+
+    def __getstate__(self):
+        # hit/miss counters are per-process diagnostics; reset on the wire.
+        return {"loss_fn": self.loss_fn, "cache": self.cache}
+
+    def __setstate__(self, state):
+        self.loss_fn = state["loss_fn"]
+        self.cache = state["cache"]
+        self.hits = 0
+        self.misses = 0
+
+
+def memoize_loss(loss_fn: Callable[[np.ndarray], float],
+                 cache: dict[bytes, float] | None = None) -> MemoizedLoss:
+    """Wrap ``loss_fn`` with the shared genome-keyed memo table."""
+    return MemoizedLoss(loss_fn, cache)

@@ -1,8 +1,8 @@
-"""Experiment presets and runners used by the figure benchmarks."""
+"""Experiment façade, presets, and the legacy figure runners."""
 
 from .config import FAST_ENGINE, PAPER_ENGINE, SMOKE_ENGINE, bench_engine
+from .experiment import METHODS, Experiment, ExperimentResult, MethodRun
 from .runners import (
-    METHODS,
     ComparisonRow,
     build_problem,
     compare_initializations,
@@ -12,8 +12,8 @@ from .runners import (
 )
 
 __all__ = [
-    "ComparisonRow", "FAST_ENGINE", "METHODS", "PAPER_ENGINE", "SMOKE_ENGINE",
-    "bench_engine", "build_problem", "compare_initializations",
-    "convergence_traces", "format_comparison_table",
-    "sweep_relative_improvement",
+    "ComparisonRow", "Experiment", "ExperimentResult", "FAST_ENGINE",
+    "METHODS", "MethodRun", "PAPER_ENGINE", "SMOKE_ENGINE", "bench_engine",
+    "build_problem", "compare_initializations", "convergence_traces",
+    "format_comparison_table", "sweep_relative_improvement",
 ]

@@ -1,29 +1,33 @@
-"""Reusable experiment runners behind the figure benchmarks and examples.
+"""Legacy experiment runners: thin wrappers over :class:`Experiment`.
 
-Each runner reproduces one experimental unit of the paper's evaluation:
+Each function reproduces one experimental unit of the paper's evaluation:
 ``compare_initializations`` produces one Fig. 5 column (three methods, three
 noise tiers, relative improvements), ``convergence_traces`` one Fig. 6 panel,
-and ``sweep_relative_improvement`` one Fig. 7/8 curve point.
+and ``sweep_relative_improvement`` one Fig. 7/8 curve point.  They all
+delegate to :meth:`Experiment.run`, so the façade and the legacy surface
+produce identical numbers for identical seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-
 from ..backends.backend import Backend
-from ..core.clapton import InitializationResult, cafqa, clapton, ncafqa
-from ..core.evaluation import PointEvaluation, evaluate_initial_point
+from ..core.clapton import InitializationResult
+from ..core.evaluation import PointEvaluation
 from ..core.problem import VQEProblem
-from ..hamiltonians.exact import ground_state_energy
 from ..metrics import relative_improvement
 from ..noise.model import NoiseModel
 from ..optim.engine import EngineConfig
 from ..paulis.pauli_sum import PauliSum
-from ..vqe.runner import VQETrace, run_vqe
+from ..vqe.runner import VQETrace
+from .experiment import METHODS, Experiment
 
-METHODS = ("cafqa", "ncafqa", "clapton")
-_DRIVERS = {"cafqa": cafqa, "ncafqa": ncafqa, "clapton": clapton}
+__all__ = [
+    "METHODS", "ComparisonRow", "build_problem", "compare_initializations",
+    "convergence_traces", "format_comparison_table",
+    "sweep_relative_improvement",
+]
 
 
 @dataclass
@@ -69,53 +73,46 @@ def build_problem(hamiltonian: PauliSum, backend: Backend | None,
 def compare_initializations(benchmark_name: str, hamiltonian: PauliSum,
                             problem: VQEProblem, config: EngineConfig,
                             methods=METHODS, vqe_iterations: int = 0,
-                            seed: int = 0) -> ComparisonRow:
+                            seed: int = 0, executor=None) -> ComparisonRow:
     """Run the requested methods on one problem and evaluate all tiers."""
-    e0 = ground_state_energy(hamiltonian)
-    row = ComparisonRow(benchmark=benchmark_name, e0=e0,
-                        e_mixed=hamiltonian.mixed_state_energy(),
-                        evaluations={})
-    for method in methods:
-        result = _DRIVERS[method](problem, config=config)
-        row.results[method] = result
-        row.evaluations[method] = evaluate_initial_point(result)
-        if vqe_iterations > 0:
-            row.vqe[method] = run_vqe(result, maxiter=vqe_iterations,
-                                      seed=seed)
-    return row
+    experiment = Experiment(hamiltonian, problem=problem,
+                            name=benchmark_name)
+    return experiment.run(methods, config=config,
+                          vqe_iterations=vqe_iterations, seed=seed,
+                          executor=executor).to_row()
 
 
 def convergence_traces(hamiltonian: PauliSum, problem: VQEProblem,
                        config: EngineConfig, vqe_iterations: int,
-                       methods=METHODS, seed: int = 0
+                       methods=METHODS, seed: int = 0, executor=None
                        ) -> dict[str, VQETrace]:
     """Per-method VQE convergence histories (one Fig. 6 panel)."""
-    traces = {}
-    for method in methods:
-        result = _DRIVERS[method](problem, config=config)
-        traces[method] = run_vqe(result, maxiter=vqe_iterations, seed=seed)
-    return traces
+    experiment = Experiment(hamiltonian, problem=problem)
+    return experiment.run(methods, config=config,
+                          vqe_iterations=vqe_iterations, seed=seed,
+                          executor=executor, evaluate_tiers=False).traces
 
 
 def sweep_relative_improvement(hamiltonian: PauliSum,
                                noise_models: list[NoiseModel],
                                config: EngineConfig,
                                baseline: str = "ncafqa",
-                               tier: str = "device_model") -> list[float]:
+                               tier: str = "device_model",
+                               executor=None) -> list[float]:
     """eta(baseline -> clapton) across a list of noise settings.
 
     The Fig. 7/8 harnesses build the noise-model list by sweeping one
     channel's strength with everything else fixed.
     """
-    e0 = ground_state_energy(hamiltonian)
+    from ..hamiltonians.exact import ground_state_energy
+
+    e0 = ground_state_energy(hamiltonian)  # one eigensolve for the sweep
     etas = []
     for noise_model in noise_models:
-        problem = VQEProblem.logical(hamiltonian, noise_model=noise_model)
-        base = _DRIVERS[baseline](problem, config=config)
-        clap = clapton(problem, config=config)
-        e_base = getattr(evaluate_initial_point(base), tier)
-        e_clap = getattr(evaluate_initial_point(clap), tier)
-        etas.append(relative_improvement(e0, e_base, e_clap))
+        experiment = Experiment(hamiltonian, noise_model=noise_model, e0=e0)
+        result = experiment.run((baseline, "clapton"), config=config,
+                                executor=executor)
+        etas.append(result.eta_initial(baseline, tier=tier))
     return etas
 
 

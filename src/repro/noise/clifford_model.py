@@ -119,6 +119,16 @@ class CliffordNoiseModel:
         all-zeros expectation) so candidate evaluation avoids PauliSum
         canonicalization overhead.
         """
+        values = self.noisy_zero_state_term_values(circuit, table)
+        return float(np.asarray(coefficients) @ values)
+
+    def noisy_zero_state_term_values(self, circuit: Circuit, table
+                                     ) -> np.ndarray:
+        """Per-term noisy expectations ``<0| A~† P_i A~ |0>`` (one pass).
+
+        The coefficient-weighted sum of these is the L_N energy; the
+        Clifford fast-path estimator exposes them individually.
+        """
         nm = self.noise_model
         table = table.copy()
         factors = self.measurement_attenuations(table)
@@ -151,8 +161,7 @@ class CliffordNoiseModel:
                              + 2 * table.z[:, q].astype(np.int8))
                     factors *= self._relaxation_factors_by_code(q, duration)[codes]
             apply_gate_to_table(table, _inverse_gate_tableau(inst), inst.qubits)
-        values = factors * table.expectation_all_zeros()
-        return float(np.asarray(coefficients) @ values)
+        return factors * table.expectation_all_zeros()
 
 
 def sample_noisy_energy(circuit: Circuit, hamiltonian: PauliSum,

@@ -9,16 +9,31 @@ configurable number of retry rounds -- the paper allows two).
 The same engine drives Clapton, CAFQA, and nCAFQA (Sec. 5.2 builds the
 baselines on "an optimization engine similar to the one shown in Figure 4"),
 so method comparisons isolate the *cost function*, not the optimizer.
+
+Round-level parallelism (the axis the paper parallelizes, Sec. 6.3) is a
+one-argument switch: pass any :mod:`repro.execution` executor as
+``executor=``.  Under :class:`~repro.execution.SerialExecutor` (the
+default) the engine keeps its legacy schedule -- one rng threaded through
+every GA instance and the mixing step -- so serial results are bit-
+identical across versions.  Thread/process executors give every instance
+its own deterministic seed stream instead, so parallel runs reproduce
+other parallel runs with the same seed (but not the serial schedule), and
+the shared loss cache travels with the jobs: each worker starts from the
+current table snapshot and the parent merges the discoveries back, so
+repeated genomes never re-pay a full evaluation in any mode.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from ..execution.cache import memoize_loss
+from ..execution.executor import Executor, resolve_executor, spawn_seeds
 from .genetic import GAConfig, GeneticAlgorithm
 
 
@@ -41,10 +56,9 @@ class EngineConfig:
     pool_fraction: float = 0.5
     ga: GAConfig = field(default_factory=GAConfig)
     seed: int | None = None
-    #: worker processes for the GA instances of each round (the paper
-    #: parallelizes exactly this axis, Sec. 6.3).  1 = sequential; parallel
-    #: runs use per-instance seed streams, so results match other parallel
-    #: runs with the same seed but not the sequential schedule.
+    #: Deprecated: pass ``executor=ProcessExecutor(n)`` to
+    #: :func:`multi_ga_minimize` instead.  Kept as a compatibility knob;
+    #: values > 1 select a process executor with a deprecation warning.
     num_processes: int = 1
 
 
@@ -74,26 +88,80 @@ class EngineResult:
         return self.total_seconds / max(1, len(self.rounds))
 
 
-def _run_one_instance(args) -> tuple[list[tuple[float, np.ndarray]],
-                                     float, np.ndarray, int]:
-    """Worker: one GA instance of one round (top-level for pickling)."""
-    loss_fn, genome_length, num_values, ga_config, seed, population, top_k = args
+def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
+                                    float, np.ndarray, int,
+                                    dict[bytes, float]]:
+    """Worker: one GA instance of one round (top-level for pickling).
+
+    ``job`` is ``(loss_fn, genome_length, num_values, ga_config,
+    rng_or_seed, population, top_k, cache, collect_new)``.  ``rng_or_seed``
+    is the engine's shared generator under the serial schedule and a
+    per-instance ``SeedSequence`` under parallel executors.  ``cache`` is
+    the live memo table (serial) or a round-start snapshot (parallel);
+    with ``collect_new`` set, entries discovered by this instance are
+    returned for the parent to merge.
+    """
+    (loss_fn, genome_length, num_values, ga_config, rng_or_seed,
+     population, top_k, cache, collect_new) = job
+    rng = (rng_or_seed if isinstance(rng_or_seed, np.random.Generator)
+           else np.random.default_rng(rng_or_seed))
+    known = set(cache) if collect_new else ()
     ga = GeneticAlgorithm(loss_fn, genome_length, num_values,
-                          config=ga_config,
-                          rng=np.random.default_rng(seed))
+                          config=ga_config, rng=rng, cache=cache)
     result = ga.run(initial_population=population)
     top = [(float(result.losses[j]), result.population[j].copy())
            for j in range(min(top_k, len(result.population)))]
-    return top, result.best_loss, result.best_genome.copy(), result.num_evaluations
+    new_entries = ({k: cache[k] for k in cache.keys() - known}
+                   if collect_new else {})
+    return (top, result.best_loss, result.best_genome.copy(),
+            result.num_evaluations, new_entries)
 
 
 def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
                       genome_length: int, num_values: int = 4,
-                      config: EngineConfig | None = None) -> EngineResult:
-    """Run the Figure-4 engine to convergence and return the best genome."""
+                      config: EngineConfig | None = None,
+                      executor: Executor | None = None) -> EngineResult:
+    """Run the Figure-4 engine to convergence and return the best genome.
+
+    Args:
+        loss_fn: Maps a genome (1-D int array) to a float loss.  Must be
+            picklable when a process executor fans the instances out.
+        genome_length: Number of genes.
+        num_values: Genes take values ``0..num_values-1``.
+        config: Engine hyperparameters.
+        executor: Execution backend for the GA instances of each round;
+            defaults to :class:`~repro.execution.SerialExecutor` (or, for
+            backward compatibility, a process pool when the deprecated
+            ``config.num_processes`` exceeds 1).
+    """
     cfg = config or EngineConfig()
-    rng = np.random.default_rng(cfg.seed)
-    cache: dict[bytes, float] = {}
+    if executor is None and cfg.num_processes > 1:
+        warnings.warn(
+            "EngineConfig.num_processes is deprecated; pass "
+            "executor=ProcessExecutor(n) to multi_ga_minimize instead",
+            DeprecationWarning, stacklevel=2)
+    executor, owned = resolve_executor(executor, cfg.num_processes)
+    try:
+        return _minimize_rounds(loss_fn, genome_length, num_values, cfg,
+                                executor)
+    finally:
+        if owned:
+            executor.close()
+
+
+def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
+                     cfg: EngineConfig, executor: Executor) -> EngineResult:
+    """The single round loop shared by every execution backend."""
+    sequential = executor.in_process_sequential
+    memo = memoize_loss(loss_fn)
+    if sequential:
+        # Legacy serial schedule: one rng threads through the GA instances
+        # and the mixing step, and every instance shares the live cache.
+        rng = np.random.default_rng(cfg.seed)
+        seed_seq = None
+    else:
+        seed_seq = np.random.SeedSequence(cfg.seed)
+        rng = np.random.default_rng(spawn_seeds(seed_seq, 1)[0])
     ga_config = GAConfig(
         population_size=cfg.population_size,
         num_generations=cfg.generations_per_round,
@@ -102,9 +170,6 @@ def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
         mutation_rate=cfg.ga.mutation_rate,
         elite_count=cfg.ga.elite_count,
     )
-    if cfg.num_processes > 1:
-        return _minimize_parallel(loss_fn, genome_length, num_values, cfg,
-                                  ga_config)
 
     populations: list[np.ndarray | None] = [None] * cfg.num_instances
     best_genome: np.ndarray | None = None
@@ -116,25 +181,34 @@ def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
 
     for _ in range(cfg.max_rounds):
         round_start = time.perf_counter()
+        if sequential:
+            jobs = [(loss_fn, genome_length, num_values, ga_config, rng,
+                     populations[i], cfg.top_k, memo.cache, False)
+                    for i in range(cfg.num_instances)]
+        else:
+            seeds = spawn_seeds(seed_seq, cfg.num_instances)
+            jobs = [(loss_fn, genome_length, num_values, ga_config, seeds[i],
+                     populations[i], cfg.top_k, memo.snapshot(), True)
+                    for i in range(cfg.num_instances)]
+        outcomes = executor.map(_run_one_instance, jobs)
+
         round_evals = 0
         pool: list[tuple[float, np.ndarray]] = []
-        for i in range(cfg.num_instances):
-            ga = GeneticAlgorithm(loss_fn, genome_length, num_values,
-                                  config=ga_config, rng=rng, cache=cache)
-            result = ga.run(initial_population=populations[i])
-            round_evals += result.num_evaluations
-            for j in range(min(cfg.top_k, len(result.population))):
-                pool.append((float(result.losses[j]), result.population[j]))
-            if result.best_loss < best_loss - 1e-12:
-                pending_best = (result.best_loss, result.best_genome.copy())
-                best_loss, best_genome = pending_best
+        for top, instance_best, instance_genome, evals, entries in outcomes:
+            memo.merge(entries)
+            round_evals += evals
+            pool.extend(top)
+            if instance_best < best_loss - 1e-12:
+                best_loss = instance_best
+                best_genome = instance_genome
         total_evals += round_evals
         rounds.append(RoundRecord(
             best_loss=best_loss,
             duration_seconds=time.perf_counter() - round_start,
             num_evaluations=round_evals))
 
-        improved = len(rounds) < 2 or rounds[-1].best_loss < rounds[-2].best_loss - 1e-12
+        improved = (len(rounds) < 2
+                    or rounds[-1].best_loss < rounds[-2].best_loss - 1e-12)
         if improved:
             retries_left = cfg.retry_rounds
         else:
@@ -150,70 +224,6 @@ def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
             take = min(draw, len(pool_genomes))
             picks = rng.choice(len(pool_genomes), size=take, replace=False)
             populations[i] = pool_genomes[picks].copy()
-
-    return EngineResult(
-        best_genome=best_genome, best_loss=best_loss, rounds=rounds,
-        num_evaluations=total_evals,
-        total_seconds=time.perf_counter() - start_time)
-
-
-def _minimize_parallel(loss_fn, genome_length: int, num_values: int,
-                       cfg: EngineConfig, ga_config: GAConfig) -> EngineResult:
-    """Engine rounds with GA instances fanned out over worker processes.
-
-    Requires ``loss_fn`` to be picklable (the package's loss objects are).
-    Each instance gets its own deterministic seed stream from the engine
-    seed, so parallel runs are reproducible against each other.
-    """
-    from concurrent.futures import ProcessPoolExecutor
-
-    seed_seq = np.random.SeedSequence(cfg.seed)
-    rng = np.random.default_rng(seed_seq.spawn(1)[0])
-    populations: list[np.ndarray | None] = [None] * cfg.num_instances
-    best_genome: np.ndarray | None = None
-    best_loss = float("inf")
-    retries_left = cfg.retry_rounds
-    rounds: list[RoundRecord] = []
-    total_evals = 0
-    start_time = time.perf_counter()
-
-    with ProcessPoolExecutor(max_workers=cfg.num_processes) as pool:
-        for round_index in range(cfg.max_rounds):
-            round_start = time.perf_counter()
-            seeds = seed_seq.spawn(cfg.num_instances)
-            jobs = [(loss_fn, genome_length, num_values, ga_config,
-                     seeds[i], populations[i], cfg.top_k)
-                    for i in range(cfg.num_instances)]
-            outcomes = list(pool.map(_run_one_instance, jobs))
-            round_evals = 0
-            pool_entries: list[tuple[float, np.ndarray]] = []
-            for top, instance_best, instance_genome, evals in outcomes:
-                round_evals += evals
-                pool_entries.extend(top)
-                if instance_best < best_loss - 1e-12:
-                    best_loss = instance_best
-                    best_genome = instance_genome
-            total_evals += round_evals
-            rounds.append(RoundRecord(
-                best_loss=best_loss,
-                duration_seconds=time.perf_counter() - round_start,
-                num_evaluations=round_evals))
-
-            improved = (len(rounds) < 2
-                        or rounds[-1].best_loss < rounds[-2].best_loss - 1e-12)
-            if improved:
-                retries_left = cfg.retry_rounds
-            else:
-                retries_left -= 1
-                if retries_left < 0:
-                    break
-
-            pool_genomes = np.array([g for _, g in pool_entries])
-            draw = max(1, int(cfg.pool_fraction * cfg.population_size))
-            for i in range(cfg.num_instances):
-                take = min(draw, len(pool_genomes))
-                picks = rng.choice(len(pool_genomes), size=take, replace=False)
-                populations[i] = pool_genomes[picks].copy()
 
     return EngineResult(
         best_genome=best_genome, best_loss=best_loss, rounds=rounds,

@@ -1,88 +1,39 @@
-"""Counts-based energy estimation: the full experimental measurement flow.
+"""Deprecated home of the counts-based energy estimator.
 
-Where :class:`~repro.vqe.estimator.EnergyEstimator` computes exact noisy
-expectations (with optional Gaussian shot-noise emulation), this estimator
-reproduces what actually happens on hardware: group terms into shared
-measurement bases, append (noisy) basis-rotation gates, sample bitstring
-counts through the asymmetric readout confusion, and reconstruct each
-term's expectation from the bits -- optionally applying tensored readout
-mitigation (:mod:`repro.mitigation.readout`) first.
+The implementation moved to :class:`repro.execution.ShotSamplingEstimator`
+(with a batched ``estimate_many`` sharing the bound-circuit skeleton and
+the precomputed basis rotations).  :class:`CountsEnergyEstimator` remains
+as a compatibility shim; prefer::
 
-It is the slow-but-faithful reference path; tests pin the fast estimator
-against it.
+    from repro.execution import make_estimator
+    estimator = make_estimator(problem, observable, mode="shots", shots=4096)
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from ..core.problem import VQEProblem
-from ..densesim.evaluator import evolve_with_noise
-from ..mitigation.readout import (
-    confusion_matrices,
-    mitigate_probabilities,
-    z_expectation_from_probabilities,
-)
-from ..noise.model import NoiseModel
-from ..paulis.pauli_sum import PauliSum
-from .grouping import MeasurementGroup, group_qubit_wise_commuting
+from ..execution.estimator import ShotSamplingEstimator
 
 
-class CountsEnergyEstimator:
-    """Estimate energies from sampled measurement outcomes.
+class CountsEnergyEstimator(ShotSamplingEstimator):
+    """Deprecated alias of :class:`repro.execution.ShotSamplingEstimator`.
 
-    Args:
-        problem: Problem bundle (ansatz + register).
-        observable: Hamiltonian on the evaluation register.
-        noise_model: Device model (defaults to the problem's).
-        shots: Shots per measurement basis.
-        seed: Sampling seed.
-        readout_mitigation: Apply tensored confusion-matrix inversion to
-            every sampled distribution before estimating expectations.
+    Same constructor, grouping, and sampling streams for identical seeds;
+    emits a :class:`DeprecationWarning` and otherwise delegates everything
+    to the new estimator.
     """
 
-    def __init__(self, problem: VQEProblem, observable: PauliSum,
-                 noise_model: NoiseModel | None = None, shots: int = 4096,
-                 seed: int | None = 0, readout_mitigation: bool = False):
-        self.problem = problem
-        self.observable = observable
-        self.noise_model = noise_model or problem.noise_model
-        self.shots = shots
-        self.rng = np.random.default_rng(seed)
-        self.readout_mitigation = readout_mitigation
-        self.groups: list[MeasurementGroup] = group_qubit_wise_commuting(
-            observable)
-        self._constant = observable.identity_constant()
-        self._matrices = confusion_matrices(self.noise_model)
-
-    @property
-    def num_bases(self) -> int:
-        return len(self.groups)
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.vqe.CountsEnergyEstimator is deprecated; use "
+            "repro.execution.make_estimator(problem, observable, "
+            "mode='shots') instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
     def energy(self, theta: np.ndarray) -> float:
         """One full (sampled) energy estimate at ansatz parameters."""
-        circuit = self.problem.bound_ansatz(theta)
-        total = self._constant
-        coefficients = self.observable.coefficients
-        supports = self.observable.table.supports_mask()
-        for group in self.groups:
-            rotated = circuit.compose(
-                group.basis_rotation(self.problem.num_eval_qubits))
-            sim = evolve_with_noise(rotated, self.noise_model)
-            probs = sim.probabilities_with_readout_error(
-                self.noise_model.readout_p01, self.noise_model.readout_p10)
-            sampled = self._sample_distribution(probs)
-            if self.readout_mitigation:
-                sampled = mitigate_probabilities(sampled, self._matrices)
-            for idx in group.term_indices:
-                qubits = [int(q) for q in np.flatnonzero(supports[idx])]
-                total += coefficients[idx] * z_expectation_from_probabilities(
-                    sampled, qubits)
-        return float(total)
-
-    def _sample_distribution(self, probs: np.ndarray) -> np.ndarray:
-        counts = self.rng.multinomial(self.shots, probs)
-        return counts / self.shots
-
-    def __call__(self, theta: np.ndarray) -> float:
-        return self.energy(theta)
+        return super().energy(theta)

@@ -1,69 +1,39 @@
-"""Noisy energy estimation for the online VQE phase.
+"""Deprecated home of the exact energy estimator.
 
-Each VQE iteration needs ``<H>`` of the bound ansatz under the full device
-model.  The estimator evolves the density matrix exactly (the paper's
-AerSimulator role) and optionally emulates measurement shot noise by adding
-Gaussian noise with the exact per-term sampling variance
+The implementation moved to :class:`repro.execution.ExactEstimator` (with a
+batched ``estimate_many`` and the full :class:`~repro.execution.EstimateResult`
+provenance).  :class:`EnergyEstimator` remains as a compatibility shim with
+the historical scalar ``energy(theta)`` surface; prefer::
 
-    Var[E_hat] = sum_i c_i^2 (1 - <P_i>^2) / shots_i
-
-(each term measured with ``shots`` shots; covariance between qubit-wise
-commuting terms measured in shared bases is neglected, which is the usual
-conservative emulation).
+    from repro.execution import make_estimator
+    estimator = make_estimator(problem, observable, mode="exact")
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from ..densesim.evaluator import evolve_with_noise, measurement_attenuations
-from ..noise.model import NoiseModel
-from ..paulis.pauli_sum import PauliSum
-from ..core.problem import VQEProblem
+from ..execution.estimator import ExactEstimator
 
 
-class EnergyEstimator:
-    """Estimate noisy energies of ``A'(theta)`` against one observable.
+class EnergyEstimator(ExactEstimator):
+    """Deprecated alias of :class:`repro.execution.ExactEstimator`.
 
-    Args:
-        problem: The VQE problem bundle (supplies the ansatz and register).
-        observable: Hamiltonian on the evaluation register (the transformed
-            one for post-Clapton VQE).
-        noise_model: Device model; defaults to the problem's.  Pass the
-            hardware twin's model to emulate on-device evaluation.
-        shots: ``None`` for exact (infinite-shot) estimates, otherwise the
-            per-term shot budget used for noise emulation.
-        seed: Seed of the shot-noise generator.
+    Same constructor and numerics (identical energies and shot-noise
+    streams for identical seeds); emits a :class:`DeprecationWarning` and
+    otherwise delegates everything to the new estimator.
     """
 
-    def __init__(self, problem: VQEProblem, observable: PauliSum,
-                 noise_model: NoiseModel | None = None,
-                 shots: int | None = None, seed: int | None = None):
-        self.problem = problem
-        self.observable = observable
-        self.noise_model = noise_model or problem.noise_model
-        if self.noise_model.num_qubits != problem.num_eval_qubits:
-            raise ValueError("noise model width must match the eval register")
-        self.shots = shots
-        self.rng = np.random.default_rng(seed)
-        self._attenuation = measurement_attenuations(observable,
-                                                     self.noise_model)
-        self.num_evaluations = 0
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.vqe.EnergyEstimator is deprecated; use "
+            "repro.execution.make_estimator(problem, observable, "
+            "mode='exact') instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
     def energy(self, theta: np.ndarray) -> float:
         """Noisy (optionally shot-sampled) energy at ansatz parameters."""
-        self.num_evaluations += 1
-        circuit = self.problem.bound_ansatz(theta)
-        sim = evolve_with_noise(circuit, self.noise_model)
-        values = np.array([sim.pauli_expectation(p)
-                           for _, p in self.observable.terms()])
-        values = values * self._attenuation
-        energy = float(self.observable.coefficients @ values)
-        if self.shots is None:
-            return energy
-        variances = (self.observable.coefficients ** 2
-                     * np.clip(1.0 - values ** 2, 0.0, 1.0) / self.shots)
-        return energy + float(self.rng.normal(0.0, np.sqrt(variances.sum())))
-
-    def __call__(self, theta: np.ndarray) -> float:
-        return self.energy(theta)
+        return super().energy(theta)

@@ -6,6 +6,11 @@ the transformed problem for Clapton, the found Clifford angles on the
 original problem for CAFQA/nCAFQA), iterate SPSA against the noisy device
 model, and report the convergence trace plus final-point energies under the
 model and -- when a hardware twin exists -- the "real device".
+
+Estimation runs through :func:`repro.execution.make_estimator`, and the
+trace accounts every tier's evaluations separately (``noisy`` for the SPSA
+loop, ``exact`` for the endpoint energies, ``hardware`` for the twin), not
+just the noisy estimator's calls.
 """
 
 from __future__ import annotations
@@ -15,8 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.clapton import InitializationResult
+from ..execution.estimator import make_estimator
 from ..optim.spsa import SPSAConfig, minimize_spsa
-from .estimator import EnergyEstimator
 
 
 @dataclass
@@ -31,7 +36,12 @@ class VQETrace:
             of Fig. 6).
         hardware_initial / hardware_final: Twin-model energies when a
             hardware model is attached to the problem (the stars in Fig. 6).
-        num_evaluations: Energy evaluations spent (SPSA pays 2/iteration).
+        num_evaluations: Total energy evaluations spent across all tiers
+            (SPSA pays 2/iteration on the noisy tier, plus calibration
+            probes, endpoint and twin evaluations).
+        evaluations_by_tier: The full breakdown: ``noisy`` (SPSA loop),
+            ``exact`` (endpoint energies), ``hardware`` (twin endpoints,
+            present only with a hardware model).
     """
 
     initial_theta: np.ndarray
@@ -42,6 +52,7 @@ class VQETrace:
     hardware_initial: float | None = None
     hardware_final: float | None = None
     num_evaluations: int = 0
+    evaluations_by_tier: dict[str, int] = field(default_factory=dict)
 
     @property
     def best_energy(self) -> float:
@@ -77,8 +88,9 @@ def run_vqe(result: InitializationResult, maxiter: int = 300,
     """
     problem = result.problem
     observable = result.initial_observable()
-    noisy = EnergyEstimator(problem, observable, shots=shots, seed=seed)
-    exact = EnergyEstimator(problem, observable, shots=None)
+    noisy = make_estimator(problem, observable, mode="exact", shots=shots,
+                           seed=seed)
+    exact = make_estimator(problem, observable, mode="exact")
 
     config = spsa_config or SPSAConfig(maxiter=maxiter, seed=seed)
     theta0 = np.asarray(result.initial_theta, dtype=float)
@@ -88,11 +100,13 @@ def run_vqe(result: InitializationResult, maxiter: int = 300,
     final_energy = exact.energy(spsa.x)
     hardware_initial = None
     hardware_final = None
+    tiers = {"noisy": noisy.num_evaluations, "exact": exact.num_evaluations}
     if problem.hardware_noise_model is not None:
-        hardware = EnergyEstimator(problem, observable,
-                                   noise_model=problem.hardware_noise_model)
+        hardware = make_estimator(problem, observable, mode="exact",
+                                  noise_model=problem.hardware_noise_model)
         hardware_initial = hardware.energy(theta0)
         hardware_final = hardware.energy(spsa.x)
+        tiers["hardware"] = hardware.num_evaluations
     return VQETrace(
         initial_theta=theta0,
         final_theta=spsa.x,
@@ -101,5 +115,6 @@ def run_vqe(result: InitializationResult, maxiter: int = 300,
         history=spsa.history,
         hardware_initial=hardware_initial,
         hardware_final=hardware_final,
-        num_evaluations=noisy.num_evaluations,
+        num_evaluations=sum(tiers.values()),
+        evaluations_by_tier=tiers,
     )
