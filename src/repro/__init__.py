@@ -68,6 +68,14 @@ from .core import (
 )
 from .vqe import EnergyEstimator, VQETrace, run_vqe
 from .experiments import Experiment, ExperimentResult
+from .campaigns import (
+    CampaignAggregate,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    TaskSpec,
+    render_report,
+)
 from .hamiltonians import (
     ground_state_energy,
     ising_model,
@@ -79,22 +87,24 @@ from .metrics import geometric_mean, normalized_energy, relative_improvement
 __version__ = "1.1.0"
 
 __all__ = [
-    "Backend", "BatchResult", "Circuit", "CliffordEstimator",
+    "Backend", "BatchResult", "CampaignAggregate", "CampaignRunner",
+    "CampaignSpec", "Circuit", "CliffordEstimator",
     "CliffordNoiseModel", "CliffordTableau", "DensityMatrixSimulator",
     "EnergyEstimator", "EngineConfig", "EstimateResult", "Estimator",
     "ExactEstimator", "Executor", "Experiment", "ExperimentResult",
     "FakeHanoi", "FakeLine", "FakeMumbai", "FakeNairobi", "FakeToronto",
     "GAConfig", "InitializationResult", "NoiseModel", "Parameter",
     "PauliString", "PauliSum", "PauliTable", "ProcessExecutor",
-    "SPSAConfig", "SerialExecutor", "ShotSamplingEstimator",
-    "StabilizerSimulator", "ThreadExecutor", "TranspileResult",
+    "ResultStore", "SPSAConfig", "SerialExecutor",
+    "ShotSamplingEstimator", "StabilizerSimulator", "TaskSpec",
+    "ThreadExecutor", "TranspileResult",
     "VQEProblem", "VQETrace", "cafqa", "clapton",
     "clapton_transformation_circuit", "clifford_state_expectation",
     "evaluate_initial_point", "geometric_mean", "ground_state_energy",
     "hardware_efficient_ansatz", "ising_model", "make_estimator",
     "memoize_loss", "minimize_spsa", "multi_ga_minimize", "ncafqa",
     "noiseless_energy", "noisy_energy", "normalized_energy",
-    "paper_benchmarks", "relative_improvement", "run_vqe",
+    "paper_benchmarks", "relative_improvement", "render_report", "run_vqe",
     "simulate_statevector", "transform_hamiltonian", "transpile",
     "xxz_model",
 ]

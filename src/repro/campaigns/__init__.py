@@ -1,0 +1,39 @@
+"""Sharded, resumable sweep campaigns over the Experiment façade.
+
+The pipeline: declare a grid (:class:`CampaignSpec`), expand it into
+content-addressed tasks, shard them over any execution backend
+(:class:`CampaignRunner`), checkpoint every result into an append-only
+:class:`ResultStore`, and aggregate the store into the paper's figure
+tables (:class:`CampaignAggregate`, :func:`render_report`).
+
+    spec = CampaignSpec(name="fig4-small", benchmarks=["ising_J1.00"],
+                        qubit_sizes=[4], noise_scales=[0.5, 1.0, 2.0],
+                        methods=["ncafqa", "clapton"], seeds=[0, 1],
+                        engine_preset="smoke")
+    store = ResultStore.create("fig4.campaign", spec)
+    CampaignRunner(spec, store, executor=ProcessExecutor(4)).run()
+    print(render_report(ResultStore.open("fig4.campaign")))
+
+CLI: ``repro sweep spec.json --jobs 4 [--resume]``, ``repro status``,
+``repro report``.
+"""
+
+from .aggregate import CampaignAggregate, CellKey
+from .runner import CampaignProgress, CampaignRunner, execute_task
+from .report import render_report
+from .spec import (
+    DEFAULT_BASE_NOISE,
+    CampaignSpec,
+    TaskSpec,
+    engine_from_dict,
+    engine_to_dict,
+    setting_label,
+)
+from .store import STATUS_DONE, STATUS_FAILED, ResultStore
+
+__all__ = [
+    "CampaignAggregate", "CampaignProgress", "CampaignRunner",
+    "CampaignSpec", "CellKey", "DEFAULT_BASE_NOISE", "ResultStore",
+    "STATUS_DONE", "STATUS_FAILED", "TaskSpec", "engine_from_dict",
+    "engine_to_dict", "execute_task", "render_report", "setting_label",
+]

@@ -1,0 +1,197 @@
+"""Turn a campaign store into the paper's figure data.
+
+A completed (or partially completed) :class:`~repro.campaigns.store.
+ResultStore` holds one ExperimentResult payload per task.  This module
+flattens those into per-task *rows* (benchmark / setting / seed / method /
+three-tier energies), joins methods within a grid cell to compute the
+Eq. 14 relative improvement of Clapton over each baseline, and summarizes
+over seeds -- the content of a Fig. 5 column or a Fig. 7 sweep point --
+as plain dicts and CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from ..metrics import geometric_mean, relative_improvement
+from .spec import setting_label
+from .store import STATUS_DONE, ResultStore
+
+#: Flat row columns, also the CSV header.
+ROW_FIELDS = (
+    "benchmark", "num_qubits", "setting", "seed", "method",
+    "e0", "e_mixed", "loss", "noiseless", "clifford_model",
+    "device_model", "hardware", "vqe_final", "engine_rounds",
+    "engine_evaluations", "seconds", "task_id",
+)
+
+#: Energy tiers carried through aggregation.
+TIERS = ("noiseless", "clifford_model", "device_model", "hardware")
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """One grid cell: everything but the method axis."""
+
+    benchmark: str
+    num_qubits: int
+    setting: str
+    seed: int
+
+
+@dataclass
+class CampaignAggregate:
+    """Row-level and joined views over a store's completed tasks."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_store(cls, store: ResultStore) -> "CampaignAggregate":
+        """Flatten completed records, in the spec's grid order (records
+        outside the grid -- e.g. hand-built tasks -- follow, in log
+        order)."""
+        by_id = {r["task_id"]: r for r in store.records()
+                 if r["status"] == STATUS_DONE and r.get("result")}
+        ordered = []
+        for task in store.spec.tasks():
+            record = by_id.pop(task.task_id, None)
+            if record is not None:
+                ordered.append(record)
+        ordered.extend(by_id.values())
+        return cls(rows=[_record_row(r) for r in ordered])
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def cells(self) -> dict[CellKey, dict[str, dict]]:
+        """``cell -> method -> row`` join, in row order."""
+        out: dict[CellKey, dict[str, dict]] = {}
+        for row in self.rows:
+            key = CellKey(row["benchmark"], row["num_qubits"],
+                          row["setting"], row["seed"])
+            out.setdefault(key, {})[row["method"]] = row
+        return out
+
+    def eta_rows(self, baseline: str = "ncafqa",
+                 tier: str = "device_model") -> list[dict]:
+        """Per-cell Eq. 14 improvement of Clapton over ``baseline``.
+
+        Cells missing either method (or the tier's energy) are skipped.
+        """
+        out = []
+        for key, methods in self.cells().items():
+            base = methods.get(baseline)
+            clap = methods.get("clapton")
+            if base is None or clap is None:
+                continue
+            if base.get(tier) is None or clap.get(tier) is None:
+                continue
+            out.append({
+                "benchmark": key.benchmark,
+                "num_qubits": key.num_qubits,
+                "setting": key.setting,
+                "seed": key.seed,
+                "baseline": baseline,
+                "tier": tier,
+                "eta": relative_improvement(base["e0"], base[tier],
+                                            clap[tier]),
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # Seed summaries
+    # ------------------------------------------------------------------
+    def method_summary(self) -> list[dict]:
+        """Mean three-tier energies per (benchmark, qubits, setting,
+        method), aggregated over seeds."""
+        groups: dict[tuple, list[dict]] = {}
+        for row in self.rows:
+            key = (row["benchmark"], row["num_qubits"], row["setting"],
+                   row["method"])
+            groups.setdefault(key, []).append(row)
+        out = []
+        for (benchmark, num_qubits, setting, method), rows in groups.items():
+            entry = {"benchmark": benchmark, "num_qubits": num_qubits,
+                     "setting": setting, "method": method,
+                     "num_seeds": len(rows), "e0": rows[0]["e0"]}
+            for tier in TIERS:
+                values = [r[tier] for r in rows if r.get(tier) is not None]
+                entry[tier] = (sum(values) / len(values) if values
+                               else None)
+            out.append(entry)
+        return out
+
+    def eta_summary(self, baseline: str = "ncafqa",
+                    tier: str = "device_model") -> list[dict]:
+        """Geometric-mean eta over seeds per (benchmark, qubits,
+        setting) -- the paper's suite aggregate."""
+        groups: dict[tuple, list[float]] = {}
+        for row in self.eta_rows(baseline, tier):
+            key = (row["benchmark"], row["num_qubits"], row["setting"])
+            groups.setdefault(key, []).append(row["eta"])
+        out = []
+        for (benchmark, num_qubits, setting), etas in groups.items():
+            # a seed where Clapton reaches E0 exactly has eta = inf (and
+            # eta = 0 when only the baseline does); either saturates the
+            # cell's geometric mean -- never drop such seeds
+            if any(e == float("inf") for e in etas):
+                geomean = float("inf")
+            elif any(e <= 0 for e in etas):
+                geomean = 0.0
+            else:
+                geomean = geometric_mean(etas)
+            out.append({
+                "benchmark": benchmark, "num_qubits": num_qubits,
+                "setting": setting, "baseline": baseline, "tier": tier,
+                "num_seeds": len(etas),
+                "eta_geomean": geomean,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # CSV
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Row-level CSV (one line per completed task)."""
+        import csv
+
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=ROW_FIELDS)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({k: row.get(k) for k in ROW_FIELDS})
+        return buf.getvalue()
+
+    def write_csv(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_csv())
+
+
+def _record_row(record: dict) -> dict:
+    """Flatten one store record into an aggregate row."""
+    task = record["task"]
+    result = record["result"]
+    method = task["method"]
+    run = result["runs"][method]
+    evaluation = run.get("evaluation") or {}
+    vqe = run.get("vqe") or {}
+    return {
+        "task_id": record["task_id"],
+        "benchmark": task["benchmark"],
+        "num_qubits": task["num_qubits"],
+        "setting": setting_label(task["setting"]),
+        "seed": task["seed"],
+        "method": method,
+        "e0": result["e0"],
+        "e_mixed": result["e_mixed"],
+        "loss": run["loss"],
+        "noiseless": evaluation.get("noiseless"),
+        "clifford_model": evaluation.get("clifford_model"),
+        "device_model": evaluation.get("device_model"),
+        "hardware": evaluation.get("hardware"),
+        "vqe_final": vqe.get("final_energy"),
+        "engine_rounds": run["engine_rounds"],
+        "engine_evaluations": run["engine_evaluations"],
+        "seconds": run["seconds"],
+    }

@@ -1,0 +1,127 @@
+"""Markdown campaign reports: the paper-figure tables from a store.
+
+``render_report`` produces a self-contained markdown document with the
+campaign header (task counts, wall time), per-benchmark three-tier energy
+tables (Fig. 5 content), Eq. 14 relative-improvement tables per baseline
+(Fig. 5's eta bars / the Fig. 7-8 sweep points, one row per setting), and
+a failure appendix.  ``repro report <store>`` prints it.
+"""
+
+from __future__ import annotations
+
+from ..experiments.experiment import METHODS
+from .aggregate import TIERS, CampaignAggregate
+from .store import ResultStore
+
+
+def render_report(store: ResultStore,
+                  baselines: tuple[str, ...] = ("cafqa", "ncafqa"),
+                  tier: str = "device_model",
+                  aggregate: CampaignAggregate | None = None) -> str:
+    """Render the whole campaign as a markdown document.
+
+    Pass a prebuilt ``aggregate`` to reuse one aggregation across the
+    report and other outputs (the CLI's ``--csv``).
+    """
+    if aggregate is None:
+        aggregate = CampaignAggregate.from_store(store)
+    counts = store.counts()
+    lines = [
+        f"# Campaign report: {store.spec.name}",
+        "",
+        f"- tasks: {counts['done']}/{counts['total']} done, "
+        f"{counts['failed']} failed, {counts['pending']} pending",
+        f"- recorded task wall time: {store.total_seconds():.1f}s",
+        f"- grid: {len(store.spec.benchmarks)} benchmark(s) x "
+        f"{len(store.spec.qubit_sizes)} size(s) x "
+        f"{len(store.spec.settings())} setting(s) x "
+        f"{len(store.spec.methods)} method(s) x "
+        f"{len(store.spec.seeds)} seed(s)",
+    ]
+    if not aggregate.rows:
+        # still surface per-task errors: the all-failed campaign is
+        # exactly when the report must explain what went wrong
+        lines += ["", "No completed tasks yet."]
+        lines += _failure_section(store)
+        return "\n".join(lines) + "\n"
+
+    lines += _energy_section(aggregate)
+    for baseline in baselines:
+        if baseline in store.spec.methods and "clapton" in store.spec.methods:
+            lines += _eta_section(aggregate, baseline, tier)
+    lines += _failure_section(store)
+    return "\n".join(lines) + "\n"
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    out = ["| " + " | ".join(header) + " |",
+           "| " + " | ".join("---" for _ in header) + " |"]
+    out += ["| " + " | ".join(row) + " |" for row in rows]
+    return out
+
+
+def _fmt(value, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{precision}f}"
+
+
+def _energy_section(aggregate: CampaignAggregate) -> list[str]:
+    """Three-tier energies per benchmark/setting/method (seed means)."""
+    lines = ["", "## Three-tier energies (mean over seeds)", ""]
+    summary = aggregate.method_summary()
+    benchmarks: dict[tuple, list[dict]] = {}
+    for entry in summary:
+        benchmarks.setdefault(
+            (entry["benchmark"], entry["num_qubits"]), []).append(entry)
+    for (benchmark, num_qubits), entries in benchmarks.items():
+        e0 = entries[0]["e0"]
+        lines += [f"### {benchmark} ({num_qubits}q, E0 = {_fmt(e0)})", ""]
+        rows = []
+        order = {m: i for i, m in enumerate(METHODS)}
+        entries.sort(key=lambda e: (e["setting"],
+                                    order.get(e["method"], 99)))
+        for entry in entries:
+            rows.append([entry["setting"], entry["method"],
+                         str(entry["num_seeds"])]
+                        + [_fmt(entry[t]) for t in TIERS])
+        lines += _markdown_table(
+            ["setting", "method", "seeds", *TIERS], rows)
+        lines.append("")
+    return lines
+
+
+def _eta_section(aggregate: CampaignAggregate, baseline: str,
+                 tier: str) -> list[str]:
+    """Eq. 14 relative improvement, geometric mean over seeds."""
+    summary = aggregate.eta_summary(baseline, tier)
+    if not summary:
+        return []
+    lines = ["",
+             f"## Relative improvement eta(clapton vs {baseline}), "
+             f"{tier} tier",
+             ""]
+    rows = [[e["benchmark"], str(e["num_qubits"]), e["setting"],
+             str(e["num_seeds"]), _fmt(e["eta_geomean"], 2)]
+            for e in summary]
+    lines += _markdown_table(
+        ["benchmark", "qubits", "setting", "seeds", "eta (geomean)"], rows)
+    lines.append("")
+    return lines
+
+
+def _failure_section(store: ResultStore) -> list[str]:
+    failed = sorted(store.failed_ids())
+    if not failed:
+        return []
+    lines = ["", "## Failed tasks", ""]
+    for task_id in failed:
+        record = store.record(task_id)
+        error = (record.get("error") or "").strip().splitlines()
+        last = error[-1] if error else "unknown error"
+        label = record.get("task", {}).get("benchmark", "?")
+        lines.append(f"- `{task_id}` ({label}): {last}")
+    lines.append("")
+    return lines

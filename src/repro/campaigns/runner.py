@@ -1,0 +1,206 @@
+"""Campaign execution: shard pending tasks over an Executor, checkpoint,
+resume.
+
+:class:`CampaignRunner` joins the three pieces: it expands the spec into
+tasks, subtracts the ids the store has already completed, and fans the
+remainder out over any :class:`~repro.execution.Executor` (serial, thread,
+or process).  Every finished task is appended to the store before the next
+wave starts, so a crash loses at most one in-flight wave and a rerun with
+``resume=True`` (the default) picks up exactly where the log ends.
+
+Determinism: each task's engine runs *serially inside* the worker (the
+task seed is baked into its engine payload), so campaign-level sharding
+never perturbs numbers -- a ``--jobs 4`` run is record-for-record
+identical to a serial one, and a resumed run to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..execution.executor import Executor, SerialExecutor
+from .spec import CampaignSpec, TaskSpec
+from .store import STATUS_DONE, STATUS_FAILED, ResultStore
+
+#: Per-worker memo of exact ground energies keyed by registry benchmark:
+#: a grid sweeps many settings of one Hamiltonian, and the dense
+#: eigensolve is identical for all of them.
+_E0_CACHE: dict[tuple[str, int], float] = {}
+
+
+def _with_shared_e0(task: TaskSpec) -> TaskSpec:
+    """Stamp the cached exact ground energy into a registry-backed task.
+
+    Only used for *execution* -- the original payload (and its task id)
+    never changes.  ``ground_state_energy`` is exactly what
+    ``Experiment.run`` would call, so numbers are unaffected.
+    """
+    if task.e0 is not None or task.hamiltonian is not None:
+        return task
+    key = (task.benchmark, task.num_qubits)
+    if key not in _E0_CACHE:
+        from ..hamiltonians.exact import ground_state_energy
+        from ..hamiltonians.registry import get_benchmark
+
+        hamiltonian = get_benchmark(*key).hamiltonian()
+        _E0_CACHE[key] = ground_state_energy(hamiltonian)
+    return replace(task, e0=_E0_CACHE[key])
+
+
+def execute_task(task_payload: dict) -> dict:
+    """Worker entry point: run one task dict into one store record.
+
+    Top-level (picklable) so process pools can import it.  Failures are
+    captured into a ``"failed"`` record instead of raised -- one bad cell
+    must not sink a grid.
+    """
+    task = TaskSpec.from_dict(task_payload)
+    start = time.perf_counter()
+    try:
+        result = _with_shared_e0(task).run()
+    except Exception:
+        return {
+            "task_id": task.task_id,
+            "status": STATUS_FAILED,
+            "seconds": time.perf_counter() - start,
+            "task": task_payload,
+            "result": None,
+            "error": traceback.format_exc(limit=8),
+        }
+    return {
+        "task_id": task.task_id,
+        "status": STATUS_DONE,
+        "seconds": time.perf_counter() - start,
+        "task": task_payload,
+        "result": result,
+        "error": None,
+    }
+
+
+@dataclass
+class CampaignProgress:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    total: int
+    skipped: int
+    ran: int = 0
+    failed: int = 0
+    seconds: float = 0.0
+    failed_ids: list[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.skipped + self.ran - self.failed
+
+
+class CampaignRunner:
+    """Drive a campaign to completion over an execution backend.
+
+    Args:
+        spec: The campaign grid.
+        store: Result store the run checkpoints into; its spec should be
+            the same campaign (``create`` a fresh one or ``open`` an
+            interrupted one to resume).
+        executor: Any PR-1 execution backend; serial when omitted.
+            Process pools require nothing beyond the spec being JSON --
+            tasks ship as plain dicts.
+
+    Example::
+
+        spec = CampaignSpec(name="fig4", benchmarks=["ising_J1.00"],
+                            qubit_sizes=[4], noise_scales=[1.0, 2.0],
+                            methods=["cafqa", "clapton"], seeds=[0, 1])
+        store = ResultStore.create("fig4.campaign", spec)
+        CampaignRunner(spec, store, executor=ProcessExecutor(4)).run()
+    """
+
+    def __init__(self, spec: CampaignSpec, store: ResultStore,
+                 executor: Executor | None = None,
+                 tasks: list[TaskSpec] | None = None):
+        self.spec = spec
+        self.store = store
+        self.executor = executor
+        self._tasks = tasks
+
+    def tasks(self) -> list[TaskSpec]:
+        """The work list: the spec's grid, or the explicit override
+        (one-off campaigns over hand-built tasks)."""
+        return self._tasks if self._tasks is not None else self.spec.tasks()
+
+    def pending_tasks(self, retry_failed: bool = True) -> list[TaskSpec]:
+        """Tasks the store has not completed, in grid order."""
+        skip = self.store.completed_ids()
+        if not retry_failed:
+            skip = skip | self.store.failed_ids()
+        return [t for t in self.tasks() if t.task_id not in skip]
+
+    def run(self, *, resume: bool = True, retry_failed: bool = True,
+            max_tasks: int | None = None,
+            on_record: Callable[[dict], None] | None = None
+            ) -> CampaignProgress:
+        """Execute (the rest of) the campaign.
+
+        Args:
+            resume: Skip task ids the store already completed.  With
+                ``False`` every grid cell reruns (records are re-appended;
+                latest wins).
+            retry_failed: Also rerun cells whose last record failed.
+            max_tasks: Stop after this many task executions (smoke tests,
+                simulated interruptions).
+            on_record: Callback fired after each record is checkpointed
+                (CLI progress lines).
+        """
+        tasks = self.tasks()
+        if resume:
+            skip = self.store.completed_ids()
+            if not retry_failed:
+                skip = skip | self.store.failed_ids()
+            pending = [t for t in tasks if t.task_id not in skip]
+        else:
+            pending = tasks
+        if max_tasks is not None:
+            pending = pending[:max_tasks]
+        progress = CampaignProgress(total=len(tasks),
+                                    skipped=len(tasks) - len(pending))
+        executor = self.executor or SerialExecutor()
+        start = time.perf_counter()
+        for wave in _waves(pending, _wave_size(executor)):
+            records = executor.map(execute_task,
+                                   [t.to_dict() for t in wave])
+            for record in records:
+                self.store.append(record)
+                progress.ran += 1
+                if record["status"] == STATUS_FAILED:
+                    progress.failed += 1
+                    progress.failed_ids.append(record["task_id"])
+                if on_record is not None:
+                    on_record(record)
+        progress.seconds = time.perf_counter() - start
+        return progress
+
+
+#: Checkpoint wave for parallel executors that do not expose a worker
+#: count (the Executor protocol only requires map/close): big enough to
+#: feed a typical pool, small enough that a crash loses little.
+_DEFAULT_WAVE = 8
+
+
+def _wave_size(executor: Executor) -> int:
+    """Tasks dispatched per checkpoint wave.
+
+    Serial backends checkpoint after every task; pools get one task per
+    worker per wave (falling back to :data:`_DEFAULT_WAVE` for pool
+    types without a ``max_workers`` attribute), so a crash loses at
+    most one in-flight wave.
+    """
+    if executor.in_process_sequential:
+        return 1
+    return max(1, getattr(executor, "max_workers", None) or _DEFAULT_WAVE)
+
+
+def _waves(items: list, size: int):
+    for i in range(0, len(items), size):
+        yield items[i:i + size]

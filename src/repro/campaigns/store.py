@@ -1,0 +1,157 @@
+"""Persistent campaign result store: append-only JSONL + in-memory index.
+
+Layout of a store directory::
+
+    <store>/
+      spec.json       # the CampaignSpec (written once, atomically)
+      results.jsonl   # one record per completed/failed task, append-only
+
+Records are flat JSON objects ``{"task_id", "status", "seconds", "task",
+"result", "error"}``.  Appends flush + fsync before returning, so a crash
+loses at most the record being written; :meth:`ResultStore.open` rebuilds
+the index by scanning the log and silently drops a torn trailing line.
+Re-recording a task id appends a new line and the *latest* record wins --
+the log is an audit trail, the index is the truth.
+
+``ResultStore.ephemeral`` keeps the same interface fully in memory for
+one-off campaigns (the legacy ``sweep_relative_improvement`` wrapper).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .spec import CampaignSpec
+
+_SPEC_FILE = "spec.json"
+_RESULTS_FILE = "results.jsonl"
+
+#: Record statuses.  A task absent from the index is *pending*.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+class ResultStore:
+    """Index over a campaign's append-only result log.
+
+    Use the constructors: :meth:`create` for a fresh directory,
+    :meth:`open` to reopen an existing one (resume, status, reporting),
+    and :meth:`ephemeral` for an in-memory store.
+    """
+
+    def __init__(self, path: Path | None, spec: CampaignSpec):
+        self.path = Path(path) if path is not None else None
+        self.spec = spec
+        self._records: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | Path, spec: CampaignSpec) -> "ResultStore":
+        """Initialize a new store directory (must not already hold one)."""
+        path = Path(path)
+        if path.exists() and not path.is_dir():
+            raise NotADirectoryError(f"store path {path} is not a directory")
+        if (path / _RESULTS_FILE).exists():
+            raise FileExistsError(
+                f"{path} already holds a campaign store; "
+                f"open() it to resume or pick a fresh directory")
+        path.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path / _SPEC_FILE,
+                      json.dumps(spec.to_dict(), indent=2) + "\n")
+        (path / _RESULTS_FILE).touch()
+        return cls(path, spec)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ResultStore":
+        """Reopen an existing store, rebuilding the index from the log."""
+        path = Path(path)
+        spec_path = path / _SPEC_FILE
+        if not spec_path.exists():
+            raise FileNotFoundError(f"no campaign store at {path} "
+                                    f"(missing {_SPEC_FILE})")
+        store = cls(path, CampaignSpec.load(spec_path))
+        results = path / _RESULTS_FILE
+        if results.exists():
+            with open(results) as fh:
+                for line in fh:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn trailing line from a crash
+                    store._records[record["task_id"]] = record
+        return store
+
+    @classmethod
+    def ephemeral(cls, spec: CampaignSpec) -> "ResultStore":
+        """In-memory store (no files) for one-off campaigns."""
+        return cls(None, spec)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Checkpoint one task record (flush + fsync when file-backed)."""
+        if "task_id" not in record or "status" not in record:
+            raise ValueError("record needs task_id and status")
+        if self.path is not None:
+            line = json.dumps(record, sort_keys=True)
+            with open(self.path / _RESULTS_FILE, "a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._records[record["task_id"]] = record
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def record(self, task_id: str) -> dict | None:
+        return self._records.get(task_id)
+
+    def records(self) -> list[dict]:
+        """Latest record per task, in first-recorded order."""
+        return list(self._records.values())
+
+    def completed_ids(self) -> set[str]:
+        return {tid for tid, r in self._records.items()
+                if r["status"] == STATUS_DONE}
+
+    def failed_ids(self) -> set[str]:
+        return {tid for tid, r in self._records.items()
+                if r["status"] == STATUS_FAILED}
+
+    def counts(self) -> dict[str, int]:
+        """``{"total", "done", "failed", "pending"}`` against the spec.
+
+        Campaigns run with an explicit task-list override (see
+        ``CampaignRunner(tasks=...)``) may record more tasks than the
+        spec's grid expands to; the total grows to cover them so counts
+        stay consistent.
+        """
+        total = max(self.spec.num_tasks, len(self._records))
+        done = len(self.completed_ids())
+        failed = len(self.failed_ids())
+        return {"total": total, "done": done, "failed": failed,
+                "pending": total - done - failed}
+
+    def total_seconds(self) -> float:
+        """Summed task wall time recorded so far."""
+        return sum(r.get("seconds", 0.0) for r in self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        where = "memory" if self.path is None else str(self.path)
+        return (f"ResultStore({where!r}, campaign={self.spec.name!r}, "
+                f"records={len(self._records)})")
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers never see a partial file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)

@@ -1,12 +1,15 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Thin wrappers over the :class:`~repro.experiments.Experiment` façade for
-quick exploration:
+Thin wrappers over the :class:`~repro.experiments.Experiment` façade and
+the campaign subsystem:
 
     repro list                      # benchmark suite
     repro ground-energy xxz_J0.50   # exact E0
     repro run ising_J1.00 --backend nairobi --method clapton --jobs 4
     repro molecule LiH 1.5          # chemistry pipeline summary
+    repro sweep grid.json --jobs 4  # sharded campaign (resume: --resume)
+    repro status grid.campaign      # done/failed/pending counts
+    repro report grid.campaign      # markdown figure tables (+ --csv)
 """
 
 from __future__ import annotations
@@ -23,10 +26,24 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_ground_energy(args) -> int:
-    from .hamiltonians import get_benchmark, ground_state_energy
+def _resolve_benchmark(name: str, qubits: int):
+    """Registry lookup; ``None`` (after a stderr message) when unknown."""
+    from .hamiltonians import get_benchmark
 
-    bench = get_benchmark(args.benchmark, args.qubits)
+    try:
+        return get_benchmark(name, qubits)
+    except KeyError:
+        print(f"unknown benchmark {name!r}; "
+              f"see `repro list --qubits {qubits}`", file=sys.stderr)
+        return None
+
+
+def _cmd_ground_energy(args) -> int:
+    from .hamiltonians import ground_state_energy
+
+    bench = _resolve_benchmark(args.benchmark, args.qubits)
+    if bench is None:
+        return 2
     hamiltonian = bench.hamiltonian()
     print(f"{bench.name}: {hamiltonian.num_terms} terms, "
           f"E0 = {ground_state_energy(hamiltonian):.6f}")
@@ -34,10 +51,11 @@ def _cmd_ground_energy(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from dataclasses import replace
+
     from .backends import ALL_BACKENDS
     from .execution import ProcessExecutor
     from .experiments import METHODS, Experiment, bench_engine
-    from .hamiltonians import get_benchmark
 
     if args.method not in METHODS:
         print(f"unknown method {args.method!r}", file=sys.stderr)
@@ -47,16 +65,21 @@ def _cmd_run(args) -> int:
         return 2
     backend = ALL_BACKENDS[args.backend]()
     num_qubits = args.qubits
-    hamiltonian = get_benchmark(args.benchmark, num_qubits).hamiltonian()
+    bench = _resolve_benchmark(args.benchmark, num_qubits)
+    if bench is None:
+        return 2
+    hamiltonian = bench.hamiltonian()
     print(f"{args.benchmark} ({num_qubits}q) on {backend.name}, "
-          f"method={args.method}")
+          f"method={args.method}, seed={args.seed}")
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     experiment = Experiment(hamiltonian, backend=backend,
                             name=args.benchmark)
     try:
         result = experiment.run(methods=(args.method,),
-                                config=bench_engine(),
+                                config=replace(bench_engine(),
+                                               seed=args.seed),
                                 vqe_iterations=args.vqe_iterations,
+                                seed=args.seed,
                                 executor=executor)
     finally:
         if executor is not None:
@@ -103,6 +126,131 @@ def _cmd_molecule(args) -> int:
     return 0
 
 
+def _default_store(spec_path: str) -> str:
+    from pathlib import Path
+
+    path = Path(spec_path)
+    return str(path.with_suffix(".campaign") if path.suffix
+               else path.with_name(path.name + ".campaign"))
+
+
+def _open_store(path):
+    """Open a store for the CLI; ``None`` after a stderr message on any
+    unusable path (missing, not a store, corrupt spec)."""
+    from .campaigns import ResultStore
+
+    try:
+        return ResultStore.open(path)
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        print(f"cannot open campaign store {str(path)!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from .campaigns import CampaignRunner, CampaignSpec, ResultStore
+    from .execution import ProcessExecutor
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        print(f"cannot load campaign spec {args.spec!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    # fail on a typo'd benchmark now, not as N failed task records
+    # (registry names do not depend on the qubit-size axis)
+    from .hamiltonians import paper_benchmarks
+
+    known = {b.name for b in paper_benchmarks()}
+    unknown = [b for b in spec.benchmarks if b not in known]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    store_path = Path(args.store or _default_store(args.spec))
+    try:
+        store = ResultStore.create(store_path, spec)
+    except NotADirectoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except FileExistsError:
+        if not args.resume:
+            print(f"store {store_path} already has results; pass --resume "
+                  f"to continue it or choose a fresh --store",
+                  file=sys.stderr)
+            return 2
+        store = _open_store(store_path)
+        if store is None:
+            return 2
+        if store.spec.to_dict() != spec.to_dict():
+            print(f"spec {args.spec} no longer matches the spec recorded "
+                  f"in {store_path}; resume against the original spec or "
+                  f"start a fresh --store", file=sys.stderr)
+            return 2
+    total = spec.num_tasks
+    done = {"n": len(store.completed_ids())}
+    print(f"campaign {spec.name!r}: {total} tasks, "
+          f"{done['n']} already done, jobs={args.jobs}, "
+          f"store={store_path}")
+
+    def on_record(record):
+        done["n"] += 1
+        status = record["status"]
+        label = record["task"]["benchmark"]
+        method = record["task"]["method"]
+        print(f"[{done['n']}/{total}] {label}/{method} "
+              f"{status} ({record['seconds']:.1f}s)")
+
+    executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
+    runner = CampaignRunner(spec, store, executor=executor)
+    try:
+        progress = runner.run(on_record=on_record)
+    finally:
+        if executor is not None:
+            executor.close()
+    counts = store.counts()
+    print(f"done: {counts['done']}/{counts['total']} "
+          f"({counts['failed']} failed, {progress.skipped} skipped, "
+          f"{progress.seconds:.1f}s)")
+    print(f"next: repro report {store_path}")
+    return 0 if counts["failed"] == 0 else 1
+
+
+def _cmd_status(args) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    counts = store.counts()
+    print(f"campaign  {store.spec.name}")
+    print(f"store     {store.path}")
+    print(f"tasks     {counts['total']} total: {counts['done']} done, "
+          f"{counts['failed']} failed, {counts['pending']} pending")
+    print(f"wall time {store.total_seconds():.1f}s recorded")
+    for task_id in sorted(store.failed_ids()):
+        record = store.record(task_id)
+        error = (record.get("error") or "").strip().splitlines()
+        print(f"  failed {task_id} "
+              f"({record['task']['benchmark']}/{record['task']['method']}): "
+              f"{error[-1] if error else 'unknown error'}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .campaigns import CampaignAggregate, render_report
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    aggregate = CampaignAggregate.from_store(store)
+    print(render_report(store, tier=args.tier, aggregate=aggregate), end="")
+    if args.csv:
+        aggregate.write_csv(args.csv)
+        print(f"\nrow-level CSV written to {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Clapton reproduction command line")
@@ -126,8 +274,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SPSA iterations of the online VQE phase")
     p_run.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the engine's GA rounds")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="engine + VQE seed (same seed, same numbers)")
     p_run.add_argument("--save", help="write the ExperimentResult JSON here")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a campaign grid from a CampaignSpec JSON file")
+    p_sweep.add_argument("spec", help="CampaignSpec JSON file")
+    p_sweep.add_argument("--store",
+                         help="store directory (default: <spec>.campaign)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes tasks are sharded over")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="continue an interrupted store, skipping "
+                              "completed task ids")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_status = sub.add_parser("status", help="campaign store progress")
+    p_status.add_argument("store", help="campaign store directory")
+    p_status.set_defaults(fn=_cmd_status)
+
+    p_report = sub.add_parser(
+        "report", help="markdown figure tables from a campaign store")
+    p_report.add_argument("store", help="campaign store directory")
+    p_report.add_argument("--tier", default="device_model",
+                          choices=["noiseless", "clifford_model",
+                                   "device_model", "hardware"],
+                          help="noise tier for the eta tables")
+    p_report.add_argument("--csv", help="also write row-level CSV here")
+    p_report.set_defaults(fn=_cmd_report)
 
     p_mol = sub.add_parser("molecule", help="build a molecular Hamiltonian")
     p_mol.add_argument("name", choices=["H2O", "H6", "LiH"])

@@ -101,18 +101,67 @@ def sweep_relative_improvement(hamiltonian: PauliSum,
                                executor=None) -> list[float]:
     """eta(baseline -> clapton) across a list of noise settings.
 
-    The Fig. 7/8 harnesses build the noise-model list by sweeping one
-    channel's strength with everything else fixed.
-    """
-    from ..hamiltonians.exact import ground_state_energy
+    .. deprecated::
+        This is now a thin wrapper over a one-off campaign; build a
+        :class:`~repro.campaigns.CampaignSpec` and run it through
+        :class:`~repro.campaigns.CampaignRunner` instead (JSON specs,
+        sharding over executors, crash-resumable stores, reports).
 
+    The Fig. 7/8 harnesses build the noise-model list by sweeping one
+    channel's strength with everything else fixed.  Numbers are identical
+    to the historical per-Experiment loop: each task's engine is seeded
+    by ``config.seed`` exactly as before.  ``executor`` now shards sweep
+    *cells* (each engine stays serial inside its task), so parallel runs
+    reproduce the serial numbers bit for bit.
+    """
+    import warnings
+
+    from ..campaigns.runner import CampaignRunner
+    from ..campaigns.spec import CampaignSpec, TaskSpec, engine_to_dict
+    from ..campaigns.store import ResultStore
+    from ..hamiltonians.exact import ground_state_energy
+    from ..metrics import relative_improvement
+    from ..paulis.serialization import pauli_sum_to_dict
+
+    warnings.warn(
+        "sweep_relative_improvement is deprecated; declare a CampaignSpec "
+        "and run it with repro.campaigns.CampaignRunner (or `repro sweep`)",
+        DeprecationWarning, stacklevel=2)
     e0 = ground_state_energy(hamiltonian)  # one eigensolve for the sweep
+    h_payload = pauli_sum_to_dict(hamiltonian)
+    engine = engine_to_dict(config)
+    tasks = [
+        TaskSpec(benchmark="sweep", num_qubits=hamiltonian.num_qubits,
+                 method=method, seed=config.seed or 0,
+                 setting={"kind": "noise_model",
+                          "model": noise_model.to_dict()},
+                 engine=engine, hamiltonian=h_payload, e0=e0)
+        for noise_model in noise_models
+        for method in (baseline, "clapton")
+    ]
+    spec = CampaignSpec(name="sweep_relative_improvement",
+                        benchmarks=["sweep"],
+                        qubit_sizes=[hamiltonian.num_qubits],
+                        methods=[baseline, "clapton"])
+    store = ResultStore.ephemeral(spec)
+
+    def fail_fast(record):
+        # preserve the legacy contract of failing on the first bad cell
+        # instead of burning the rest of the sweep budget
+        if record["status"] != "done":
+            raise RuntimeError(
+                f"sweep cell {record['task']['benchmark']}/"
+                f"{record['task']['method']} failed:\n{record['error']}")
+
+    CampaignRunner(spec, store, executor=executor,
+                   tasks=tasks).run(on_record=fail_fast)
     etas = []
-    for noise_model in noise_models:
-        experiment = Experiment(hamiltonian, noise_model=noise_model, e0=e0)
-        result = experiment.run((baseline, "clapton"), config=config,
-                                executor=executor)
-        etas.append(result.eta_initial(baseline, tier=tier))
+    for i, _ in enumerate(noise_models):
+        base_run, clap_run = (store.record(t.task_id)["result"]
+                              for t in tasks[2 * i:2 * i + 2])
+        etas.append(relative_improvement(
+            e0, base_run["runs"][baseline]["evaluation"][tier],
+            clap_run["runs"]["clapton"]["evaluation"][tier]))
     return etas
 
 

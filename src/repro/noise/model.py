@@ -183,6 +183,54 @@ class NoiseModel:
         return replace(self, **kwargs)
 
     # ------------------------------------------------------------------
+    # JSON round trip (campaign specs ship noise models between workers)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form; inverse of :meth:`from_dict`."""
+        return {
+            "num_qubits": self.num_qubits,
+            "depol_1q": np.asarray(self.depol_1q).tolist(),
+            "depol_2q_default": float(self.depol_2q_default),
+            "depol_2q": [[int(a), int(b), float(p)]
+                         for (a, b), p in sorted(self.depol_2q.items())],
+            "t1": None if self.t1 is None else np.asarray(self.t1).tolist(),
+            "t2": None if self.t2 is None else np.asarray(self.t2).tolist(),
+            "readout_p01": np.asarray(self.readout_p01).tolist(),
+            "readout_p10": np.asarray(self.readout_p10).tolist(),
+            "gate_time_1q": float(self.gate_time_1q),
+            "gate_time_2q": float(self.gate_time_2q),
+            "include_relaxation": bool(self.include_relaxation),
+            "coherent_zz_angle_2q": float(self.coherent_zz_angle_2q),
+            "include_idle_relaxation": bool(self.include_idle_relaxation),
+            "logical_flip_probs": (
+                None if self.logical_flip_probs is None
+                else [float(p) for p in self.logical_flip_probs]),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoiseModel":
+        flips = data.get("logical_flip_probs")
+        return cls(
+            num_qubits=data["num_qubits"],
+            depol_1q=np.asarray(data["depol_1q"], dtype=float),
+            depol_2q_default=data["depol_2q_default"],
+            depol_2q={(a, b): p for a, b, p in data.get("depol_2q", [])},
+            t1=(None if data.get("t1") is None
+                else np.asarray(data["t1"], dtype=float)),
+            t2=(None if data.get("t2") is None
+                else np.asarray(data["t2"], dtype=float)),
+            readout_p01=np.asarray(data["readout_p01"], dtype=float),
+            readout_p10=np.asarray(data["readout_p10"], dtype=float),
+            gate_time_1q=data.get("gate_time_1q", 35e-9),
+            gate_time_2q=data.get("gate_time_2q", 300e-9),
+            include_relaxation=data.get("include_relaxation", True),
+            coherent_zz_angle_2q=data.get("coherent_zz_angle_2q", 0.0),
+            include_idle_relaxation=data.get("include_idle_relaxation",
+                                             False),
+            logical_flip_probs=(None if flips is None else tuple(flips)),
+        )
+
+    # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
     def two_qubit_depol(self, a: int, b: int) -> float:

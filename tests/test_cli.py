@@ -27,6 +27,27 @@ class TestCLI:
         assert main(["run", "ising_J1.00", "--method", "bogus"]) == 2
         assert main(["run", "ising_J1.00", "--backend", "bogus"]) == 2
 
+    def test_run_rejects_unknown_benchmark(self, capsys):
+        assert main(["run", "bogus_bench"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'bogus_bench'" in err
+        assert "repro list" in err
+        assert main(["ground-energy", "bogus_bench"]) == 2
+
+    def test_run_seed_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        argv = ["run", "ising_J1.00", "--backend", "nairobi",
+                "--qubits", "3", "--vqe-iterations", "2"]
+
+        def final_energy(seed_args):
+            assert main(argv + seed_args) == 0
+            out = capsys.readouterr().out
+            return [l for l in out.splitlines() if "VQE final" in l][0]
+
+        base = final_energy([])
+        assert final_energy(["--seed", "0"]) == base  # default seed is 0
+        assert final_energy(["--seed", "123"]) != base
+
     @pytest.mark.slow
     def test_molecule_with_save(self, capsys, tmp_path):
         target = tmp_path / "lih.json"
@@ -40,3 +61,74 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCampaignCLI:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        import json
+
+        spec = {
+            "name": "cli-grid",
+            "benchmarks": ["ising_J1.00"],
+            "qubit_sizes": [3],
+            "noise_scales": [1.0],
+            "methods": ["ncafqa", "clapton"],
+            "seeds": [0],
+            "engine_preset": "smoke",
+            "engine_overrides": {"num_instances": 1,
+                                 "generations_per_round": 6, "top_k": 3,
+                                 "population_size": 10, "retry_rounds": 0},
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_sweep_status_report_flow(self, capsys, spec_path):
+        store = str(spec_path.with_suffix(".campaign"))
+        assert main(["sweep", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 tasks" in out and "done: 2/2" in out
+
+        # rerunning an existing store requires --resume
+        assert main(["sweep", str(spec_path)]) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert main(["sweep", str(spec_path), "--resume"]) == 0
+        assert "2 skipped" in capsys.readouterr().out
+
+        assert main(["status", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 done, 0 failed, 0 pending" in out
+
+        csv_path = spec_path.parent / "rows.csv"
+        assert main(["report", store, "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Campaign report: cli-grid" in out
+        assert "eta(clapton vs ncafqa)" in out
+        assert csv_path.read_text().startswith("benchmark,")
+
+    def test_resume_rejects_edited_spec(self, capsys, spec_path):
+        import json
+
+        assert main(["sweep", str(spec_path)]) == 0
+        capsys.readouterr()
+        edited = json.loads(spec_path.read_text())
+        edited["seeds"] = [0, 1]
+        spec_path.write_text(json.dumps(edited))
+        assert main(["sweep", str(spec_path), "--resume"]) == 2
+        assert "no longer matches" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_spec(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"benchmarks": ["x"]}')  # missing name
+        assert main(["sweep", str(bad)]) == 2
+        assert "cannot load campaign spec" in capsys.readouterr().err
+        assert main(["sweep", str(tmp_path / "missing.json")]) == 2
+        capsys.readouterr()
+        bad.write_text('{"name": "b", "benchmarks": ["ising_J1.0"]}')
+        assert main(["sweep", str(bad)]) == 2  # typo'd registry name
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_status_and_report_reject_missing_store(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+        assert main(["report", str(tmp_path / "nope")]) == 2
