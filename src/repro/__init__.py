@@ -66,6 +66,13 @@ from .core import (
     ncafqa,
     transform_hamiltonian,
 )
+from .methods import (
+    DEFAULT_METHODS,
+    InitializationMethod,
+    get_method,
+    method_names,
+    register_method,
+)
 from .vqe import EnergyEstimator, VQETrace, run_vqe
 from .experiments import Experiment, ExperimentResult
 from .campaigns import (
@@ -77,9 +84,13 @@ from .campaigns import (
     render_report,
 )
 from .hamiltonians import (
+    expand_benchmarks,
+    get_benchmark,
     ground_state_energy,
     ising_model,
     paper_benchmarks,
+    register_benchmark,
+    register_suite,
     xxz_model,
 )
 from .metrics import geometric_mean, normalized_energy, relative_improvement
@@ -89,22 +100,26 @@ __version__ = "1.1.0"
 __all__ = [
     "Backend", "BatchResult", "CampaignAggregate", "CampaignRunner",
     "CampaignSpec", "Circuit", "CliffordEstimator",
-    "CliffordNoiseModel", "CliffordTableau", "DensityMatrixSimulator",
+    "CliffordNoiseModel", "CliffordTableau", "DEFAULT_METHODS",
+    "DensityMatrixSimulator",
     "EnergyEstimator", "EngineConfig", "EstimateResult", "Estimator",
     "ExactEstimator", "Executor", "Experiment", "ExperimentResult",
     "FakeHanoi", "FakeLine", "FakeMumbai", "FakeNairobi", "FakeToronto",
-    "GAConfig", "InitializationResult", "NoiseModel", "Parameter",
+    "GAConfig", "InitializationMethod", "InitializationResult",
+    "NoiseModel", "Parameter",
     "PauliString", "PauliSum", "PauliTable", "ProcessExecutor",
     "ResultStore", "SPSAConfig", "SerialExecutor",
     "ShotSamplingEstimator", "StabilizerSimulator", "TaskSpec",
     "ThreadExecutor", "TranspileResult",
     "VQEProblem", "VQETrace", "cafqa", "clapton",
     "clapton_transformation_circuit", "clifford_state_expectation",
-    "evaluate_initial_point", "geometric_mean", "ground_state_energy",
+    "evaluate_initial_point", "expand_benchmarks", "geometric_mean",
+    "get_benchmark", "get_method", "ground_state_energy",
     "hardware_efficient_ansatz", "ising_model", "make_estimator",
-    "memoize_loss", "minimize_spsa", "multi_ga_minimize", "ncafqa",
-    "noiseless_energy", "noisy_energy", "normalized_energy",
-    "paper_benchmarks", "relative_improvement", "render_report", "run_vqe",
+    "memoize_loss", "method_names", "minimize_spsa", "multi_ga_minimize",
+    "ncafqa", "noiseless_energy", "noisy_energy", "normalized_energy",
+    "paper_benchmarks", "register_benchmark", "register_method",
+    "register_suite", "relative_improvement", "render_report", "run_vqe",
     "simulate_statevector", "transform_hamiltonian", "transpile",
     "xxz_model",
 ]

@@ -42,9 +42,15 @@ class CellKey:
 
 @dataclass
 class CampaignAggregate:
-    """Row-level and joined views over a store's completed tasks."""
+    """Row-level and joined views over a store's completed tasks.
+
+    ``rows`` is treated as fixed after construction: the cell join is
+    computed once and cached across the per-baseline eta views.
+    """
 
     rows: list[dict] = field(default_factory=list)
+    _cells: dict | None = field(default=None, init=False, repr=False,
+                                compare=False)
 
     @classmethod
     def from_store(cls, store: ResultStore) -> "CampaignAggregate":
@@ -54,7 +60,13 @@ class CampaignAggregate:
         by_id = {r["task_id"]: r for r in store.records()
                  if r["status"] == STATUS_DONE and r.get("result")}
         ordered = []
-        for task in store.spec.tasks():
+        try:
+            grid = store.spec.tasks()
+        except KeyError:
+            # spec references a suite this process never registered:
+            # fall back to pure log order (read paths must still work)
+            grid = []
+        for task in grid:
             record = by_id.pop(task.task_id, None)
             if record is not None:
                 ordered.append(record)
@@ -65,27 +77,30 @@ class CampaignAggregate:
     # Joins
     # ------------------------------------------------------------------
     def cells(self) -> dict[CellKey, dict[str, dict]]:
-        """``cell -> method -> row`` join, in row order."""
-        out: dict[CellKey, dict[str, dict]] = {}
-        for row in self.rows:
-            key = CellKey(row["benchmark"], row["num_qubits"],
-                          row["setting"], row["seed"])
-            out.setdefault(key, {})[row["method"]] = row
-        return out
+        """``cell -> method -> row`` join, in row order (cached)."""
+        if self._cells is None:
+            out: dict[CellKey, dict[str, dict]] = {}
+            for row in self.rows:
+                key = CellKey(row["benchmark"], row["num_qubits"],
+                              row["setting"], row["seed"])
+                out.setdefault(key, {})[row["method"]] = row
+            self._cells = out
+        return self._cells
 
     def eta_rows(self, baseline: str = "ncafqa",
-                 tier: str = "device_model") -> list[dict]:
-        """Per-cell Eq. 14 improvement of Clapton over ``baseline``.
+                 tier: str = "device_model",
+                 improver: str = "clapton") -> list[dict]:
+        """Per-cell Eq. 14 improvement of ``improver`` over ``baseline``.
 
         Cells missing either method (or the tier's energy) are skipped.
         """
         out = []
         for key, methods in self.cells().items():
             base = methods.get(baseline)
-            clap = methods.get("clapton")
-            if base is None or clap is None:
+            imp = methods.get(improver)
+            if base is None or imp is None:
                 continue
-            if base.get(tier) is None or clap.get(tier) is None:
+            if base.get(tier) is None or imp.get(tier) is None:
                 continue
             out.append({
                 "benchmark": key.benchmark,
@@ -93,9 +108,10 @@ class CampaignAggregate:
                 "setting": key.setting,
                 "seed": key.seed,
                 "baseline": baseline,
+                "improver": improver,
                 "tier": tier,
                 "eta": relative_improvement(base["e0"], base[tier],
-                                            clap[tier]),
+                                            imp[tier]),
             })
         return out
 
@@ -123,11 +139,12 @@ class CampaignAggregate:
         return out
 
     def eta_summary(self, baseline: str = "ncafqa",
-                    tier: str = "device_model") -> list[dict]:
+                    tier: str = "device_model",
+                    improver: str = "clapton") -> list[dict]:
         """Geometric-mean eta over seeds per (benchmark, qubits,
         setting) -- the paper's suite aggregate."""
         groups: dict[tuple, list[float]] = {}
-        for row in self.eta_rows(baseline, tier):
+        for row in self.eta_rows(baseline, tier, improver):
             key = (row["benchmark"], row["num_qubits"], row["setting"])
             groups.setdefault(key, []).append(row["eta"])
         out = []
@@ -143,7 +160,8 @@ class CampaignAggregate:
                 geomean = geometric_mean(etas)
             out.append({
                 "benchmark": benchmark, "num_qubits": num_qubits,
-                "setting": setting, "baseline": baseline, "tier": tier,
+                "setting": setting, "baseline": baseline,
+                "improver": improver, "tier": tier,
                 "num_seeds": len(etas),
                 "eta_geomean": geomean,
             })

@@ -9,19 +9,22 @@ a failure appendix.  ``repro report <store>`` prints it.
 
 from __future__ import annotations
 
-from ..experiments.experiment import METHODS
+from ..methods import method_names
 from .aggregate import TIERS, CampaignAggregate
 from .store import ResultStore
 
 
 def render_report(store: ResultStore,
-                  baselines: tuple[str, ...] = ("cafqa", "ncafqa"),
+                  baselines: tuple[str, ...] | None = None,
                   tier: str = "device_model",
-                  aggregate: CampaignAggregate | None = None) -> str:
+                  aggregate: CampaignAggregate | None = None,
+                  improver: str = "clapton") -> str:
     """Render the whole campaign as a markdown document.
 
-    Pass a prebuilt ``aggregate`` to reuse one aggregation across the
-    report and other outputs (the CLI's ``--csv``).
+    ``baselines`` defaults to every campaign method except ``improver``
+    (one Eq. 14 table per baseline).  Pass a prebuilt ``aggregate`` to
+    reuse one aggregation across the report and other outputs (the CLI's
+    ``--csv``).
     """
     if aggregate is None:
         aggregate = CampaignAggregate.from_store(store)
@@ -32,7 +35,8 @@ def render_report(store: ResultStore,
         f"- tasks: {counts['done']}/{counts['total']} done, "
         f"{counts['failed']} failed, {counts['pending']} pending",
         f"- recorded task wall time: {store.total_seconds():.1f}s",
-        f"- grid: {len(store.spec.benchmarks)} benchmark(s) x "
+        f"- grid: {len(store.spec.expanded_benchmarks(lenient=True))} "
+        f"benchmark(s) x "
         f"{len(store.spec.qubit_sizes)} size(s) x "
         f"{len(store.spec.settings())} setting(s) x "
         f"{len(store.spec.methods)} method(s) x "
@@ -46,9 +50,12 @@ def render_report(store: ResultStore,
         return "\n".join(lines) + "\n"
 
     lines += _energy_section(aggregate)
+    if baselines is None:
+        baselines = tuple(m for m in store.spec.methods if m != improver)
     for baseline in baselines:
-        if baseline in store.spec.methods and "clapton" in store.spec.methods:
-            lines += _eta_section(aggregate, baseline, tier)
+        if (baseline != improver and baseline in store.spec.methods
+                and improver in store.spec.methods):
+            lines += _eta_section(aggregate, baseline, tier, improver)
     lines += _failure_section(store)
     return "\n".join(lines) + "\n"
 
@@ -80,9 +87,11 @@ def _energy_section(aggregate: CampaignAggregate) -> list[str]:
         e0 = entries[0]["e0"]
         lines += [f"### {benchmark} ({num_qubits}q, E0 = {_fmt(e0)})", ""]
         rows = []
-        order = {m: i for i, m in enumerate(METHODS)}
+        # registry order: built-ins first, then registration order
+        order = {m: i for i, m in enumerate(method_names())}
         entries.sort(key=lambda e: (e["setting"],
-                                    order.get(e["method"], 99)))
+                                    order.get(e["method"], len(order)),
+                                    e["method"]))
         for entry in entries:
             rows.append([entry["setting"], entry["method"],
                          str(entry["num_seeds"])]
@@ -94,13 +103,13 @@ def _energy_section(aggregate: CampaignAggregate) -> list[str]:
 
 
 def _eta_section(aggregate: CampaignAggregate, baseline: str,
-                 tier: str) -> list[str]:
+                 tier: str, improver: str = "clapton") -> list[str]:
     """Eq. 14 relative improvement, geometric mean over seeds."""
-    summary = aggregate.eta_summary(baseline, tier)
+    summary = aggregate.eta_summary(baseline, tier, improver)
     if not summary:
         return []
     lines = ["",
-             f"## Relative improvement eta(clapton vs {baseline}), "
+             f"## Relative improvement eta({improver} vs {baseline}), "
              f"{tier} tier",
              ""]
     rows = [[e["benchmark"], str(e["num_qubits"]), e["setting"],

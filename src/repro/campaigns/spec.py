@@ -17,15 +17,36 @@ CampaignRunner` ship tasks to process-pool workers and a
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
 from functools import cached_property
 from pathlib import Path
 
-from ..experiments.experiment import METHODS
+from ..hamiltonians.registry import expand_benchmarks
+from ..methods import DEFAULT_METHODS, resolve_methods
 from ..optim.engine import EngineConfig
 from ..optim.genetic import GAConfig
+
+#: When True (see :func:`lenient_methods`), specs naming unregistered
+#: methods construct instead of raising -- required so ``repro status`` /
+#: ``repro report`` can open a store whose campaign used a method that was
+#: registered in the producing process but not in this one.
+_LENIENT_METHODS = False
+
+
+@contextlib.contextmanager
+def lenient_methods():
+    """Temporarily allow specs to name unregistered methods (store
+    reads; never used on the declaration/run path)."""
+    global _LENIENT_METHODS
+    previous = _LENIENT_METHODS
+    _LENIENT_METHODS = True
+    try:
+        yield
+    finally:
+        _LENIENT_METHODS = previous
 
 #: Uniform-noise parameters at scale 1.0 (the Fig. 7/8 working point).
 DEFAULT_BASE_NOISE = {
@@ -121,10 +142,12 @@ class TaskSpec:
     """One campaign work unit: one method on one problem cell.
 
     Attributes:
-        benchmark: Registry name (``repro.hamiltonians.get_benchmark``),
-            or a free label when ``hamiltonian`` is given explicitly.
-        num_qubits: Physics-model width (chemistry benchmarks ignore it).
-        method: ``"cafqa"``, ``"ncafqa"``, or ``"clapton"``.
+        benchmark: Registry name or parameterized spec
+            (``repro.hamiltonians.get_benchmark``), or a free label when
+            ``hamiltonian`` is given explicitly.
+        num_qubits: Physics-model width (chemistry and parameterized
+            benchmarks ignore it).
+        method: Any registered method name (``repro methods``).
         seed: Cell seed; folded into the engine seed and the VQE seed by
             :meth:`CampaignSpec.tasks` (explicitly constructed tasks may
             decouple them via ``engine["seed"]``).
@@ -245,14 +268,17 @@ class CampaignSpec:
 
     Attributes:
         name: Campaign label (store headers, reports).
-        benchmarks: Registry names (``repro list``).
+        benchmarks: Registry names, parameterized ``family:key=value``
+            specs, and/or ``suite:<name>`` entries (``repro benchmarks``);
+            suites expand in place, in declared order.
         qubit_sizes: Physics-model widths (chemistry is always 10q).
         backends: Named device backends (``toronto``, ``nairobi``, ...).
         noise_scales: Uniform-noise scale factors applied to
             ``base_noise`` (errors multiplied, T1 divided).
         base_noise: Scale-1.0 uniform noise parameters; merged over
             :data:`DEFAULT_BASE_NOISE`.
-        methods: Subset of ``("cafqa", "ncafqa", "clapton")``.
+        methods: Registered method names (``repro methods``); defaults to
+            the built-in trio.
         seeds: Cell seeds; each becomes the engine *and* VQE seed.
         engine_preset / engine_overrides: Base :class:`EngineConfig`
             preset name plus field overrides (e.g. ``{"num_instances":
@@ -267,7 +293,7 @@ class CampaignSpec:
     backends: list[str] = field(default_factory=list)
     noise_scales: list[float] = field(default_factory=list)
     base_noise: dict = field(default_factory=dict)
-    methods: list[str] = field(default_factory=lambda: list(METHODS))
+    methods: list[str] = field(default_factory=lambda: list(DEFAULT_METHODS))
     seeds: list[int] = field(default_factory=lambda: [0])
     engine_preset: str = "fast"
     engine_overrides: dict = field(default_factory=dict)
@@ -276,13 +302,18 @@ class CampaignSpec:
     entanglement: str = "circular"
 
     def __post_init__(self):
-        unknown = [m for m in self.methods if m not in METHODS]
-        if unknown:
-            raise ValueError(f"unknown methods {unknown}; "
-                             f"expected a subset of {METHODS}")
-        for axis in ("benchmarks", "qubit_sizes", "backends",
-                     "noise_scales", "methods", "seeds"):
-            values = getattr(self, axis)
+        if not _LENIENT_METHODS:
+            # same did-you-mean ValueError contract as Experiment.run
+            resolve_methods(self.methods)
+            try:
+                self.expanded_benchmarks()
+            except KeyError as exc:  # unknown suite: fail at declaration
+                raise ValueError(str(exc.args[0])) from None
+        for axis, values in (
+                ("benchmarks", self.expanded_benchmarks(lenient=True)),
+                *((a, getattr(self, a)) for a in
+                  ("qubit_sizes", "backends", "noise_scales", "methods",
+                   "seeds"))):
             if len(set(values)) != len(values):
                 # duplicates would expand to colliding task ids, leaving
                 # phantom forever-pending tasks in every status count
@@ -312,6 +343,20 @@ class CampaignSpec:
                 f"{exc}") from None
 
     # -- grid ----------------------------------------------------------
+    def expanded_benchmarks(self, lenient: bool = False) -> list[str]:
+        """The benchmark axis with ``suite:*`` entries expanded in place.
+
+        ``lenient=True`` (store-read paths) passes unknown suites through
+        unexpanded instead of raising.
+        """
+        return expand_benchmarks(self.benchmarks, lenient=lenient)
+
+    def unresolved_suites(self) -> list[str]:
+        """``suite:*`` entries this process cannot expand (not registered
+        here); non-empty means grid-derived counts are lower bounds."""
+        return [b for b in self.expanded_benchmarks(lenient=True)
+                if b.startswith("suite:")]
+
     def settings(self) -> list[dict]:
         """The evaluation-environment axis, in expansion order."""
         out: list[dict] = [{"kind": "backend", "backend": b}
@@ -337,7 +382,7 @@ class CampaignSpec:
         """Deterministic grid expansion into ordered work units."""
         out: list[TaskSpec] = []
         settings = self.settings()
-        for benchmark in self.benchmarks:
+        for benchmark in self.expanded_benchmarks():
             for num_qubits in self.qubit_sizes:
                 for setting in settings:
                     for method in self.methods:
@@ -358,7 +403,10 @@ class CampaignSpec:
 
     @property
     def num_tasks(self) -> int:
-        return (len(self.benchmarks) * len(self.qubit_sizes)
+        # lenient: store reads (counts/status) must survive suites this
+        # process never registered; tasks() stays strict for the run path
+        return (len(self.expanded_benchmarks(lenient=True))
+                * len(self.qubit_sizes)
                 * len(self.settings()) * len(self.methods)
                 * len(self.seeds))
 

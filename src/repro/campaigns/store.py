@@ -23,7 +23,7 @@ import json
 import os
 from pathlib import Path
 
-from .spec import CampaignSpec
+from .spec import CampaignSpec, lenient_methods
 
 _SPEC_FILE = "spec.json"
 _RESULTS_FILE = "results.jsonl"
@@ -73,7 +73,10 @@ class ResultStore:
         if not spec_path.exists():
             raise FileNotFoundError(f"no campaign store at {path} "
                                     f"(missing {_SPEC_FILE})")
-        store = cls(path, CampaignSpec.load(spec_path))
+        # read path: the producing process may have registered methods
+        # this one has not; status/report must still work
+        with lenient_methods():
+            store = cls(path, CampaignSpec.load(spec_path))
         results = path / _RESULTS_FILE
         if results.exists():
             with open(results) as fh:

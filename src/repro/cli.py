@@ -3,9 +3,11 @@
 Thin wrappers over the :class:`~repro.experiments.Experiment` façade and
 the campaign subsystem:
 
-    repro list                      # benchmark suite
+    repro list                      # benchmark suite (fixed names)
+    repro benchmarks --kind physics # registered benchmarks + families
+    repro methods                   # registered initialization methods
     repro ground-energy xxz_J0.50   # exact E0
-    repro run ising_J1.00 --backend nairobi --method clapton --jobs 4
+    repro run ising:n=6,J=0.5 --backend nairobi --methods cafqa,clapton
     repro molecule LiH 1.5          # chemistry pipeline summary
     repro sweep grid.json --jobs 4  # sharded campaign (resume: --resume)
     repro status grid.campaign      # done/failed/pending counts
@@ -26,15 +28,49 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_methods(args) -> int:
+    from .methods import available_methods
+
+    for name, method in available_methods().items():
+        print(f"{name:<18} {method.description}")
+    return 0
+
+
+def _cmd_benchmarks(args) -> int:
+    from .hamiltonians import (benchmark_families, paper_benchmarks,
+                               suite_benchmarks, suite_names)
+
+    for bench in paper_benchmarks(args.qubits):
+        if args.kind and bench.kind != args.kind:
+            continue
+        print(f"{bench.name:<22} {bench.kind:<10} {bench.num_qubits:>2}q  "
+              f"{bench.description}")
+    families = [f for f in benchmark_families().values()
+                if not args.kind or f.kind == args.kind]
+    if families:
+        print("\nparameterized families (use as 'family:key=value,...'):")
+        for family in families:
+            print(f"{family.spec_syntax:<34} {family.kind:<10} "
+                  f"{family.description}")
+    if not args.kind:
+        print("\nsuites (use as 'suite:<name>' in campaign benchmark "
+              "lists):")
+        for name in suite_names():
+            print(f"suite:{name:<16} -> "
+                  f"{', '.join(suite_benchmarks(name))}")
+    return 0
+
+
 def _resolve_benchmark(name: str, qubits: int):
     """Registry lookup; ``None`` (after a stderr message) when unknown."""
     from .hamiltonians import get_benchmark
 
     try:
         return get_benchmark(name, qubits)
-    except KeyError:
-        print(f"unknown benchmark {name!r}; "
-              f"see `repro list --qubits {qubits}`", file=sys.stderr)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        print(f"see `repro list --qubits {qubits}` and `repro benchmarks`",
+              file=sys.stderr)
         return None
 
 
@@ -50,15 +86,35 @@ def _cmd_ground_energy(args) -> int:
     return 0
 
 
+def _resolve_method_names(text: str) -> list[str] | None:
+    """Split + validate a comma-separated method list; ``None`` (after a
+    stderr message with a did-you-mean hint) on any unknown name."""
+    from .methods import get_method
+
+    names = list(dict.fromkeys(  # dedupe, preserving order
+        m.strip() for m in text.split(",") if m.strip()))
+    if not names:
+        print("no methods given; see `repro methods`", file=sys.stderr)
+        return None
+    for name in names:
+        try:
+            get_method(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            print("see `repro methods`", file=sys.stderr)
+            return None
+    return names
+
+
 def _cmd_run(args) -> int:
     from dataclasses import replace
 
     from .backends import ALL_BACKENDS
     from .execution import ProcessExecutor
-    from .experiments import METHODS, Experiment, bench_engine
+    from .experiments import Experiment, bench_engine
 
-    if args.method not in METHODS:
-        print(f"unknown method {args.method!r}", file=sys.stderr)
+    methods = _resolve_method_names(args.methods or args.method)
+    if methods is None:
         return 2
     if args.backend not in ALL_BACKENDS:
         print(f"unknown backend {args.backend!r}", file=sys.stderr)
@@ -68,14 +124,21 @@ def _cmd_run(args) -> int:
     bench = _resolve_benchmark(args.benchmark, num_qubits)
     if bench is None:
         return 2
-    hamiltonian = bench.hamiltonian()
-    print(f"{args.benchmark} ({num_qubits}q) on {backend.name}, "
-          f"method={args.method}, seed={args.seed}")
+    try:
+        hamiltonian = bench.hamiltonian()
+    except (TypeError, ValueError) as exc:
+        # a well-formed spec with a bad parameter *value* only surfaces
+        # when the builder runs, e.g. ising:n=abc
+        print(f"cannot build benchmark {args.benchmark!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"{args.benchmark} ({hamiltonian.num_qubits}q) on "
+          f"{backend.name}, methods={','.join(methods)}, seed={args.seed}")
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     experiment = Experiment(hamiltonian, backend=backend,
                             name=args.benchmark)
     try:
-        result = experiment.run(methods=(args.method,),
+        result = experiment.run(methods=tuple(methods),
                                 config=replace(bench_engine(),
                                                seed=args.seed),
                                 vqe_iterations=args.vqe_iterations,
@@ -84,19 +147,22 @@ def _cmd_run(args) -> int:
     finally:
         if executor is not None:
             executor.close()
-    run = result.runs[args.method]
-    evaluation = run.evaluation
     print(f"E0              = {result.e0:.6f}")
-    print(f"noise-free      = {evaluation.noiseless:.6f}")
-    print(f"clifford model  = {evaluation.clifford_model:.6f}")
-    print(f"device model    = {evaluation.device_model:.6f}")
-    if run.vqe is not None:
-        print(f"VQE final       = {run.vqe.final_energy:.6f} "
-              f"({run.vqe.num_evaluations} evaluations: "
-              f"{run.vqe.evaluations_by_tier})")
-    print(f"engine: {run.engine_rounds} rounds, "
-          f"{run.engine_evaluations} evaluations, "
-          f"{run.engine_seconds:.1f}s")
+    for method in methods:
+        run = result.runs[method]
+        evaluation = run.evaluation
+        if len(methods) > 1:
+            print(f"-- {method} --")
+        print(f"noise-free      = {evaluation.noiseless:.6f}")
+        print(f"clifford model  = {evaluation.clifford_model:.6f}")
+        print(f"device model    = {evaluation.device_model:.6f}")
+        if run.vqe is not None:
+            print(f"VQE final       = {run.vqe.final_energy:.6f} "
+                  f"({run.vqe.num_evaluations} evaluations: "
+                  f"{run.vqe.evaluations_by_tier})")
+        print(f"engine: {run.engine_rounds} rounds, "
+              f"{run.engine_evaluations} evaluations, "
+              f"{run.engine_seconds:.1f}s")
     if args.save:
         import json
 
@@ -160,13 +226,19 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
         return 2
     # fail on a typo'd benchmark now, not as N failed task records
-    # (registry names do not depend on the qubit-size axis)
-    from .hamiltonians import paper_benchmarks
+    # (resolution is lazy: nothing is built here, and registry names do
+    # not depend on the qubit-size axis)
+    from .hamiltonians import get_benchmark
 
-    known = {b.name for b in paper_benchmarks()}
-    unknown = [b for b in spec.benchmarks if b not in known]
+    unknown = []
+    for name in spec.expanded_benchmarks():
+        try:
+            get_benchmark(name)
+        except (KeyError, ValueError) as exc:
+            unknown.append(name)
+            print(exc.args[0], file=sys.stderr)
     if unknown:
-        print(f"unknown benchmarks {unknown}; see `repro list`",
+        print(f"unknown benchmarks {unknown}; see `repro benchmarks`",
               file=sys.stderr)
         return 2
     store_path = Path(args.store or _default_store(args.spec))
@@ -227,6 +299,10 @@ def _cmd_status(args) -> int:
     print(f"store     {store.path}")
     print(f"tasks     {counts['total']} total: {counts['done']} done, "
           f"{counts['failed']} failed, {counts['pending']} pending")
+    unresolved = store.spec.unresolved_suites()
+    if unresolved:
+        print(f"warning   {unresolved} not registered in this process; "
+              f"totals are lower bounds (pending may be underestimated)")
     print(f"wall time {store.total_seconds():.1f}s recorded")
     for task_id in sorted(store.failed_ids()):
         record = store.record(task_id)
@@ -243,8 +319,17 @@ def _cmd_report(args) -> int:
     store = _open_store(args.store)
     if store is None:
         return 2
+    improver = args.improver or "clapton"
+    if args.improver is not None and improver not in store.spec.methods:
+        # an explicit but typo'd improver would silently drop every eta
+        # table (the default may legitimately be absent, e.g. a
+        # single-method campaign, and then skips them as before)
+        print(f"improver {improver!r} is not a method of this campaign; "
+              f"methods: {store.spec.methods}", file=sys.stderr)
+        return 2
     aggregate = CampaignAggregate.from_store(store)
-    print(render_report(store, tier=args.tier, aggregate=aggregate), end="")
+    print(render_report(store, tier=args.tier, aggregate=aggregate,
+                        improver=improver), end="")
     if args.csv:
         aggregate.write_csv(args.csv)
         print(f"\nrow-level CSV written to {args.csv}")
@@ -260,6 +345,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--qubits", type=int, default=10)
     p_list.set_defaults(fn=_cmd_list)
 
+    p_methods = sub.add_parser(
+        "methods", help="list registered initialization methods")
+    p_methods.set_defaults(fn=_cmd_methods)
+
+    p_bench = sub.add_parser(
+        "benchmarks",
+        help="list registered benchmarks, families, and suites")
+    p_bench.add_argument("--kind", choices=["physics", "chemistry"],
+                         help="only list benchmarks of this kind")
+    p_bench.add_argument("--qubits", type=int, default=10)
+    p_bench.set_defaults(fn=_cmd_benchmarks)
+
     p_ge = sub.add_parser("ground-energy", help="exact E0 of a benchmark")
     p_ge.add_argument("benchmark")
     p_ge.add_argument("--qubits", type=int, default=10)
@@ -268,7 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one initialization method")
     p_run.add_argument("benchmark")
     p_run.add_argument("--backend", default="toronto")
-    p_run.add_argument("--method", default="clapton")
+    p_run.add_argument("--method", default="clapton",
+                       help="one registered method (see `repro methods`)")
+    p_run.add_argument("--methods",
+                       help="comma-separated registered methods; "
+                            "overrides --method")
     p_run.add_argument("--qubits", type=int, default=6)
     p_run.add_argument("--vqe-iterations", type=int, default=0,
                        help="SPSA iterations of the online VQE phase")
@@ -303,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "device_model", "hardware"],
                           help="noise tier for the eta tables")
     p_report.add_argument("--csv", help="also write row-level CSV here")
+    p_report.add_argument("--improver", default=None,
+                          help="method the eta tables credit improvements "
+                               "to (default: clapton); must be one of the "
+                               "campaign's methods")
     p_report.set_defaults(fn=_cmd_report)
 
     p_mol = sub.add_parser("molecule", help="build a molecular Hamiltonian")

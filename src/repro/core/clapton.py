@@ -1,10 +1,15 @@
-"""End-to-end drivers: ``clapton()``, ``cafqa()``, ``ncafqa()``.
+"""Initialization results and the legacy method drivers.
 
-Each driver runs the Figure-4 multi-GA engine on the method's cost function
-and returns an :class:`InitializationResult` exposing, uniformly across
-methods, everything the evaluation needs: the initial-point circuit and
-observable on the evaluation register, the Hamiltonian the subsequent VQE
-should optimize, and the VQE starting parameters.
+:class:`InitializationResult` is the uniform outcome of *any* registered
+initialization method (see :mod:`repro.methods`): the best genome and
+loss, full engine bookkeeping, and the decoded VQE starting point -- the
+Hamiltonian the subsequent VQE should optimize, the starting parameters,
+and the initial-state circuit/observable on the evaluation register.
+
+``clapton()``, ``cafqa()``, and ``ncafqa()`` remain as thin wrappers over
+the registered method instances in :mod:`repro.methods.builtin`; they
+produce bit-identical numbers to the historical in-place drivers for
+identical seeds.
 """
 
 from __future__ import annotations
@@ -13,14 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..circuits.ansatz import cafqa_angles
 from ..circuits.circuit import Circuit
 from ..noise.clifford_model import CliffordNoiseModel
-from ..optim.engine import EngineConfig, EngineResult, multi_ga_minimize
+from ..optim.engine import EngineConfig, EngineResult
 from ..paulis.pauli_sum import PauliSum
-from .loss import CafqaLoss, ClaptonLoss
 from .problem import VQEProblem
-from .transformation import embed_table, transform_hamiltonian, transform_table
+from .transformation import embed_table
 
 
 @dataclass
@@ -28,16 +31,21 @@ class InitializationResult:
     """Outcome of one initialization method on one problem.
 
     Attributes:
-        method: ``"clapton"``, ``"cafqa"``, or ``"ncafqa"``.
+        method: Registered method name (``"clapton"``, ``"cafqa"``,
+            ``"ncafqa"``, ``"random_clifford"``, ``"vanilla"``, or any
+            user-registered name).
         problem: The problem bundle the method ran on.
         genome: Best genome found (``gamma`` for Clapton, Clifford rotation
-            levels for the baselines).
+            levels for the ansatz-angle methods).
         loss: Best engine loss (the method's own cost, not a device energy).
         engine: Full engine bookkeeping (rounds, timings, evaluation count).
         vqe_hamiltonian: The *logical* Hamiltonian the post-method VQE
             optimizes -- transformed for Clapton, original otherwise.
         initial_theta: VQE starting parameters (zeros for Clapton,
-            ``genome * pi/2`` for CAFQA/nCAFQA).
+            ``genome * pi/2`` for the ansatz-angle methods).
+        init_circuit: Optional explicit initial-state circuit (methods
+            whose initial state is not the bound ansatz); ``None`` means
+            ``A'(initial_theta)``.
     """
 
     method: str
@@ -47,26 +55,33 @@ class InitializationResult:
     engine: EngineResult
     vqe_hamiltonian: PauliSum
     initial_theta: np.ndarray
+    init_circuit: Circuit | None = None
 
     # ------------------------------------------------------------------
     # The initial point, as evaluated on the device register
     # ------------------------------------------------------------------
     def initial_circuit(self) -> Circuit:
-        """Bound Clifford circuit preparing the initial state on hardware."""
-        if self.method == "clapton":
-            return self.problem.skeleton()
+        """Bound Clifford circuit preparing the initial state on hardware.
+
+        The bound, identity-free ansatz at ``initial_theta`` -- for
+        Clapton (``theta = 0``) that is exactly the skeleton ``A'(0)`` --
+        unless the method supplied an explicit ``init_circuit``.
+        """
+        if self.init_circuit is not None:
+            return self.init_circuit
         return self.problem.bound_ansatz(self.initial_theta)
 
     def initial_observable(self) -> PauliSum:
-        """The measured Hamiltonian on the evaluation register."""
+        """The measured Hamiltonian on the evaluation register.
+
+        ``vqe_hamiltonian`` re-indexed onto the device register: the
+        transformed problem for Clapton, the plain mapped Hamiltonian for
+        the ansatz-angle methods -- one rule for every method.
+        """
         problem = self.problem
-        if self.method == "clapton":
-            table = transform_table(problem.hamiltonian, self.genome,
-                                    problem.entanglement)
-            eval_table = embed_table(table, problem.positions,
-                                     problem.num_eval_qubits)
-            return PauliSum(eval_table, problem.hamiltonian.coefficients.copy())
-        return problem.mapped_hamiltonian()
+        table = embed_table(self.vqe_hamiltonian.table, problem.positions,
+                            problem.num_eval_qubits)
+        return PauliSum(table, self.vqe_hamiltonian.coefficients.copy())
 
 
 def clapton(problem: VQEProblem, config: EngineConfig | None = None,
@@ -84,56 +99,27 @@ def clapton(problem: VQEProblem, config: EngineConfig | None = None,
         executor: Execution backend for the engine's GA rounds (any
             :mod:`repro.execution` executor); serial by default.
     """
-    loss = ClaptonLoss(problem, clifford_model=clifford_model,
-                       noisy_weight=noisy_weight,
-                       noiseless_weight=noiseless_weight)
-    engine = multi_ga_minimize(loss, problem.num_transformation_parameters,
-                               num_values=4, config=config,
-                               executor=executor)
-    gamma = engine.best_genome
-    return InitializationResult(
-        method="clapton",
-        problem=problem,
-        genome=gamma,
-        loss=engine.best_loss,
-        engine=engine,
-        vqe_hamiltonian=transform_hamiltonian(problem.hamiltonian, gamma,
-                                              problem.entanglement),
-        initial_theta=np.zeros(problem.num_vqe_parameters),
-    )
+    from ..methods.builtin import ClaptonMethod
 
-
-def _cafqa_like(problem: VQEProblem, noise_aware: bool,
-                config: EngineConfig | None,
-                clifford_model: CliffordNoiseModel | None,
-                executor=None) -> InitializationResult:
-    loss = CafqaLoss(problem, noise_aware=noise_aware,
-                     clifford_model=clifford_model)
-    engine = multi_ga_minimize(loss, problem.num_vqe_parameters,
-                               num_values=4, config=config,
-                               executor=executor)
-    genome = engine.best_genome
-    return InitializationResult(
-        method="ncafqa" if noise_aware else "cafqa",
-        problem=problem,
-        genome=genome,
-        loss=engine.best_loss,
-        engine=engine,
-        vqe_hamiltonian=problem.hamiltonian,
-        initial_theta=cafqa_angles(genome),
-    )
+    method = ClaptonMethod(clifford_model=clifford_model,
+                           noisy_weight=noisy_weight,
+                           noiseless_weight=noiseless_weight)
+    return method.run(problem, config=config, executor=executor)
 
 
 def cafqa(problem: VQEProblem, config: EngineConfig | None = None,
           executor=None) -> InitializationResult:
     """The CAFQA baseline: noiseless Clifford search over ansatz angles."""
-    return _cafqa_like(problem, noise_aware=False, config=config,
-                       clifford_model=None, executor=executor)
+    from ..methods.builtin import CafqaMethod
+
+    return CafqaMethod().run(problem, config=config, executor=executor)
 
 
 def ncafqa(problem: VQEProblem, config: EngineConfig | None = None,
            clifford_model: CliffordNoiseModel | None = None,
            executor=None) -> InitializationResult:
     """Noise-aware CAFQA: the paper's strengthened baseline (Sec. 5.2)."""
-    return _cafqa_like(problem, noise_aware=True, config=config,
-                       clifford_model=clifford_model, executor=executor)
+    from ..methods.builtin import NcafqaMethod
+
+    return NcafqaMethod(clifford_model=clifford_model).run(
+        problem, config=config, executor=executor)

@@ -1,7 +1,7 @@
 """Experiment façade, presets, and the legacy figure runners."""
 
 from .config import FAST_ENGINE, PAPER_ENGINE, SMOKE_ENGINE, bench_engine
-from .experiment import METHODS, Experiment, ExperimentResult, MethodRun
+from .experiment import Experiment, ExperimentResult, MethodRun
 from .runners import (
     ComparisonRow,
     build_problem,
@@ -17,3 +17,11 @@ __all__ = [
     "build_problem", "compare_initializations", "convergence_traces",
     "format_comparison_table", "sweep_relative_improvement",
 ]
+
+
+def __getattr__(name: str):
+    if name == "METHODS":  # deprecated shim; warns in .experiment
+        from .experiment import METHODS
+
+        return METHODS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

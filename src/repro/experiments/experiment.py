@@ -16,12 +16,13 @@ every surface produces identical numbers for identical seeds.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..backends.backend import Backend
-from ..core.clapton import InitializationResult, cafqa, clapton, ncafqa
+from ..core.clapton import InitializationResult
 from ..core.evaluation import PointEvaluation, evaluate_initial_point
 from ..core.problem import VQEProblem
 from ..execution.executor import Executor
@@ -32,8 +33,19 @@ from ..optim.engine import EngineConfig
 from ..paulis.pauli_sum import PauliSum
 from ..vqe.runner import VQETrace, run_vqe
 
-METHODS = ("cafqa", "ncafqa", "clapton")
-_DRIVERS = {"cafqa": cafqa, "ncafqa": ncafqa, "clapton": clapton}
+
+def __getattr__(name: str):
+    if name == "METHODS":
+        # PR-1/PR-2-era shim: the frozen tuple is now the registry's
+        # built-in trio (see repro.methods).
+        warnings.warn(
+            "METHODS is deprecated; use repro.methods.method_names() for "
+            "everything registered or repro.methods.DEFAULT_METHODS for "
+            "the built-in trio", DeprecationWarning, stacklevel=2)
+        from ..methods import DEFAULT_METHODS
+
+        return DEFAULT_METHODS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -41,7 +53,7 @@ class MethodRun:
     """Everything one method produced on one problem (serializable).
 
     Attributes:
-        method: ``"cafqa"``, ``"ncafqa"``, or ``"clapton"``.
+        method: Registered method name (see ``repro.methods``).
         genome: Best engine genome.
         loss: Best engine loss (the method's own cost, not an energy).
         evaluation: Three-tier initial-point energies.
@@ -167,16 +179,35 @@ class ExperimentResult:
     def timings(self) -> dict[str, float]:
         return {m: r.seconds for m, r in self.runs.items()}
 
-    def eta_initial(self, baseline: str, tier: str = "device_model") -> float:
-        """Relative improvement of Clapton over a baseline (Eq. 14)."""
-        base = getattr(self.runs[baseline].evaluation, tier)
-        clap = getattr(self.runs["clapton"].evaluation, tier)
-        return relative_improvement(self.e0, base, clap)
+    def _method_run(self, name: str) -> MethodRun:
+        try:
+            return self.runs[name]
+        except KeyError:
+            raise KeyError(
+                f"no {name!r} run in this result; available runs: "
+                f"{list(self.runs)}") from None
 
-    def eta_final(self, baseline: str) -> float:
+    def eta_initial(self, baseline: str, tier: str = "device_model",
+                    improver: str = "clapton") -> float:
+        """Relative improvement of ``improver`` over ``baseline`` (Eq. 14)."""
+        base = self._method_run(baseline)
+        imp = self._method_run(improver)
+        if base.evaluation is None or imp.evaluation is None:
+            raise ValueError(
+                "eta_initial needs tier evaluations; this result was "
+                "produced with evaluate_tiers=False")
         return relative_improvement(self.e0,
-                                    self.runs[baseline].vqe.final_energy,
-                                    self.runs["clapton"].vqe.final_energy)
+                                    getattr(base.evaluation, tier),
+                                    getattr(imp.evaluation, tier))
+
+    def eta_final(self, baseline: str, improver: str = "clapton") -> float:
+        base = self._method_run(baseline)
+        imp = self._method_run(improver)
+        if base.vqe is None or imp.vqe is None:
+            raise ValueError(
+                "eta_final needs VQE traces; run with vqe_iterations > 0")
+        return relative_improvement(self.e0, base.vqe.final_energy,
+                                    imp.vqe.final_energy)
 
     def to_row(self):
         """The legacy :class:`~repro.experiments.runners.ComparisonRow`."""
@@ -256,14 +287,17 @@ class Experiment:
                 hamiltonian, noise_model=noise_model,
                 entanglement=entanglement)
 
-    def run(self, methods=METHODS, *, config: EngineConfig | None = None,
+    def run(self, methods=None, *, config: EngineConfig | None = None,
             vqe_iterations: int = 0, vqe_shots: int | None = None,
             seed: int = 0, executor: Executor | None = None,
             evaluate_tiers: bool = True) -> ExperimentResult:
         """Run the requested methods and evaluate all tiers.
 
         Args:
-            methods: Any subset of ``("cafqa", "ncafqa", "clapton")``.
+            methods: Registered method names and/or
+                :class:`~repro.methods.InitializationMethod` instances;
+                defaults to the built-in trio ``("cafqa", "ncafqa",
+                "clapton")``.  ``repro methods`` lists what is registered.
             config: Engine hyperparameters; defaults to the preset selected
                 by ``CLAPTON_BENCH_PRESET`` (``fast`` unless overridden).
             vqe_iterations: SPSA iterations of the online phase (0 skips
@@ -276,32 +310,31 @@ class Experiment:
                 the VQE traces matter (``MethodRun.evaluation`` is then
                 ``None`` and ``eta_initial`` unavailable).
         """
+        from ..methods import resolve_methods
+
         if config is None:
             from .config import bench_engine
 
             config = bench_engine()
-        unknown = [m for m in methods if m not in _DRIVERS]
-        if unknown:
-            raise ValueError(f"unknown methods {unknown}; "
-                             f"expected a subset of {METHODS}")
+        resolved = resolve_methods(methods)  # ValueError on unknown names
         start = time.perf_counter()
         e0 = (self.e0 if self.e0 is not None
               else ground_state_energy(self.hamiltonian))
         runs: dict[str, MethodRun] = {}
         results: dict[str, InitializationResult] = {}
-        for method in methods:
+        for method in resolved:
             method_start = time.perf_counter()
-            result = _DRIVERS[method](self.problem, config=config,
-                                      executor=executor)
-            results[method] = result
+            result = method.run(self.problem, config=config,
+                                executor=executor)
+            results[method.name] = result
             evaluation = (evaluate_initial_point(result)
                           if evaluate_tiers else None)
             trace = None
             if vqe_iterations > 0:
                 trace = run_vqe(result, maxiter=vqe_iterations,
                                 shots=vqe_shots, seed=seed)
-            runs[method] = MethodRun(
-                method=method,
+            runs[method.name] = MethodRun(
+                method=method.name,
                 genome=result.genome,
                 loss=result.loss,
                 evaluation=evaluation,

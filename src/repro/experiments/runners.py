@@ -21,13 +21,21 @@ from ..noise.model import NoiseModel
 from ..optim.engine import EngineConfig
 from ..paulis.pauli_sum import PauliSum
 from ..vqe.runner import VQETrace
-from .experiment import METHODS, Experiment
+from .experiment import Experiment
 
 __all__ = [
     "METHODS", "ComparisonRow", "build_problem", "compare_initializations",
     "convergence_traces", "format_comparison_table",
     "sweep_relative_improvement",
 ]
+
+
+def __getattr__(name: str):
+    if name == "METHODS":  # deprecated shim; warns in .experiment
+        from . import experiment
+
+        return experiment.METHODS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -49,16 +57,27 @@ class ComparisonRow:
     results: dict[str, InitializationResult] = field(default_factory=dict)
     vqe: dict[str, VQETrace] = field(default_factory=dict)
 
-    def eta_initial(self, baseline: str, tier: str = "device_model") -> float:
-        """Relative improvement of Clapton over a baseline (Eq. 14)."""
-        base = getattr(self.evaluations[baseline], tier)
-        clap = getattr(self.evaluations["clapton"], tier)
-        return relative_improvement(self.e0, base, clap)
+    def _lookup(self, table: dict, name: str, what: str):
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(f"no {what} for method {name!r}; available: "
+                           f"{list(table)}") from None
 
-    def eta_final(self, baseline: str) -> float:
-        return relative_improvement(self.e0,
-                                    self.vqe[baseline].final_energy,
-                                    self.vqe["clapton"].final_energy)
+    def eta_initial(self, baseline: str, tier: str = "device_model",
+                    improver: str = "clapton") -> float:
+        """Relative improvement of ``improver`` over ``baseline`` (Eq. 14)."""
+        base = getattr(self._lookup(self.evaluations, baseline,
+                                    "evaluation"), tier)
+        imp = getattr(self._lookup(self.evaluations, improver,
+                                   "evaluation"), tier)
+        return relative_improvement(self.e0, base, imp)
+
+    def eta_final(self, baseline: str, improver: str = "clapton") -> float:
+        base = self._lookup(self.vqe, baseline, "VQE trace")
+        imp = self._lookup(self.vqe, improver, "VQE trace")
+        return relative_improvement(self.e0, base.final_energy,
+                                    imp.final_energy)
 
 
 def build_problem(hamiltonian: PauliSum, backend: Backend | None,
@@ -72,7 +91,7 @@ def build_problem(hamiltonian: PauliSum, backend: Backend | None,
 
 def compare_initializations(benchmark_name: str, hamiltonian: PauliSum,
                             problem: VQEProblem, config: EngineConfig,
-                            methods=METHODS, vqe_iterations: int = 0,
+                            methods=None, vqe_iterations: int = 0,
                             seed: int = 0, executor=None) -> ComparisonRow:
     """Run the requested methods on one problem and evaluate all tiers."""
     experiment = Experiment(hamiltonian, problem=problem,
@@ -84,7 +103,7 @@ def compare_initializations(benchmark_name: str, hamiltonian: PauliSum,
 
 def convergence_traces(hamiltonian: PauliSum, problem: VQEProblem,
                        config: EngineConfig, vqe_iterations: int,
-                       methods=METHODS, seed: int = 0, executor=None
+                       methods=None, seed: int = 0, executor=None
                        ) -> dict[str, VQETrace]:
     """Per-method VQE convergence histories (one Fig. 6 panel)."""
     experiment = Experiment(hamiltonian, problem=problem)

@@ -15,18 +15,30 @@ from .maxcut import (
 )
 from .registry import (
     Benchmark,
+    BenchmarkFamily,
     CHEMISTRY_CASES,
+    benchmark_families,
     chemistry_benchmarks,
+    expand_benchmarks,
     get_benchmark,
     paper_benchmarks,
+    parse_benchmark_spec,
     physics_benchmarks,
+    register_benchmark,
+    register_suite,
+    suite_benchmarks,
+    suite_names,
+    unregister_benchmark,
 )
 
 __all__ = [
-    "Benchmark", "best_cut_bruteforce", "cut_value", "maxcut_hamiltonian",
+    "Benchmark", "BenchmarkFamily", "best_cut_bruteforce",
+    "benchmark_families", "cut_value", "maxcut_hamiltonian",
     "random_maxcut_instance", "CHEMISTRY_CASES", "PAPER_COUPLINGS",
-    "chemistry_benchmarks", "get_benchmark", "ground_state",
-    "ground_state_energy", "ising_model", "paper_benchmarks",
-    "pauli_sum_to_sparse", "pauli_to_sparse", "physics_benchmarks",
-    "xxz_model",
+    "chemistry_benchmarks", "expand_benchmarks", "get_benchmark",
+    "ground_state", "ground_state_energy", "ising_model",
+    "paper_benchmarks", "parse_benchmark_spec", "pauli_sum_to_sparse",
+    "pauli_to_sparse", "physics_benchmarks", "register_benchmark",
+    "register_suite", "suite_benchmarks", "suite_names",
+    "unregister_benchmark", "xxz_model",
 ]

@@ -1,0 +1,28 @@
+"""Pluggable initialization methods: protocol, registry, built-ins.
+
+The method axis of the paper's evaluation is open: implement
+:class:`InitializationMethod`, decorate it with :func:`register_method`,
+and the method runs through ``Experiment.run``, campaign sweeps, figure
+reports, and the CLI by name -- no core edits.  ``repro methods`` lists
+what is registered.
+"""
+
+from .base import DecodedPoint, InitializationMethod
+from .registry import (
+    DEFAULT_METHODS,
+    available_methods,
+    get_method,
+    method_names,
+    register_method,
+    resolve_methods,
+    unregister_method,
+)
+from .builtin import CafqaMethod, ClaptonMethod, NcafqaMethod
+from .extras import RandomCliffordMethod, VanillaMethod
+
+__all__ = [
+    "CafqaMethod", "ClaptonMethod", "DEFAULT_METHODS", "DecodedPoint",
+    "InitializationMethod", "NcafqaMethod", "RandomCliffordMethod",
+    "VanillaMethod", "available_methods", "get_method", "method_names",
+    "register_method", "resolve_methods", "unregister_method",
+]

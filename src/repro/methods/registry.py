@@ -1,0 +1,124 @@
+"""The open method registry: ``@register_method`` + name lookup.
+
+Every consumer of the method axis -- ``Experiment.run``, campaign specs,
+reports, the CLI -- resolves method names through this module, so a method
+registered from user code (no core edits) runs everywhere a built-in does::
+
+    from repro.methods import InitializationMethod, register_method
+
+    @register_method
+    class MyMethod(InitializationMethod):
+        name = "my_method"
+        description = "one line for `repro methods`"
+        ...
+
+Lookups of unknown names fail with a did-you-mean suggestion naming the
+registered methods.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from .base import InitializationMethod
+
+#: The built-in trio, in the paper's presentation order.  This is the
+#: default method set of :meth:`Experiment.run` and campaign specs (the
+#: extra in-tree methods -- ``random_clifford``, ``vanilla`` -- are opt-in).
+DEFAULT_METHODS: tuple[str, ...] = ("cafqa", "ncafqa", "clapton")
+
+_REGISTRY: dict[str, InitializationMethod] = {}
+
+
+def register_method(method=None, *, replace: bool = False):
+    """Register an :class:`InitializationMethod` class or instance.
+
+    Usable as a bare decorator (``@register_method``), a parameterized one
+    (``@register_method(replace=True)``), or a plain call
+    (``register_method(instance)``).  Classes are instantiated with no
+    arguments; pre-built instances register as-is (use this for
+    parameterized variants).  Returns the decorated object unchanged.
+    """
+    def _register(obj):
+        instance = obj() if isinstance(obj, type) else obj
+        if not isinstance(instance, InitializationMethod):
+            raise TypeError(
+                f"register_method needs an InitializationMethod subclass "
+                f"or instance, got {obj!r}")
+        name = instance.name
+        if not name:
+            raise ValueError(
+                f"{type(instance).__name__} has no `name`; set the class "
+                f"attribute before registering")
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"method {name!r} is already registered "
+                f"({_REGISTRY[name]!r}); pass replace=True to override")
+        _REGISTRY[name] = instance
+        return obj
+
+    if method is None:
+        return _register
+    return _register(method)
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registered method (primarily for test cleanup)."""
+    _REGISTRY.pop(name, None)
+
+
+def method_names() -> tuple[str, ...]:
+    """Registered names, in registration order (built-ins first)."""
+    return tuple(_REGISTRY)
+
+
+def available_methods() -> dict[str, InitializationMethod]:
+    """Name -> instance snapshot of the registry."""
+    return dict(_REGISTRY)
+
+
+def _suggestion(name: str) -> str:
+    close = difflib.get_close_matches(name, _REGISTRY, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def get_method(name: str) -> InitializationMethod:
+    """Look up a registered method; ``KeyError`` with a did-you-mean hint."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown method {name!r}{_suggestion(name)}; registered "
+            f"methods: {list(_REGISTRY)}") from None
+
+
+def resolve_methods(methods=None) -> list[InitializationMethod]:
+    """Normalize a method selection into registry instances.
+
+    Accepts ``None`` (the built-in trio), a single name or instance, or an
+    iterable mixing names and :class:`InitializationMethod` instances.
+    Unknown names raise ``ValueError`` listing every registered method.
+    """
+    if methods is None:
+        methods = DEFAULT_METHODS
+    if isinstance(methods, (str, InitializationMethod)):
+        methods = (methods,)
+    resolved: list[InitializationMethod] = []
+    unknown: list[str] = []
+    for method in methods:
+        if isinstance(method, InitializationMethod):
+            resolved.append(method)
+        elif isinstance(method, str):
+            if method in _REGISTRY:
+                resolved.append(_REGISTRY[method])
+            else:
+                unknown.append(method)
+        else:
+            raise TypeError(
+                f"methods must be registered names or "
+                f"InitializationMethod instances, got {method!r}")
+    if unknown:
+        raise ValueError(
+            f"unknown methods {unknown}{_suggestion(unknown[0])}; "
+            f"registered methods: {list(_REGISTRY)}")
+    return resolved

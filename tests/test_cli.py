@@ -27,6 +27,50 @@ class TestCLI:
         assert main(["run", "ising_J1.00", "--method", "bogus"]) == 2
         assert main(["run", "ising_J1.00", "--backend", "bogus"]) == 2
 
+    def test_methods_verb_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cafqa", "ncafqa", "clapton", "random_clifford",
+                     "vanilla"):
+            assert name in out
+
+    def test_benchmarks_verb_with_kind_filter(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "ising_J0.25" in out and "H2O_l1.0" in out
+        assert "family:key=value" in out and "suite:paper" in out
+        assert main(["benchmarks", "--kind", "chemistry"]) == 0
+        out = capsys.readouterr().out
+        assert "H2O_l1.0" in out and "ising_J0.25" not in out
+
+    def test_run_did_you_mean_on_typoed_method(self, capsys):
+        assert main(["run", "ising_J1.00", "--methods", "claptn"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'clapton'?" in err
+        assert "repro methods" in err
+
+    def test_run_multiple_methods_on_parameterized_benchmark(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        assert main(["run", "ising:n=3,J=0.5", "--backend", "nairobi",
+                     "--methods", "vanilla,random_clifford"]) == 0
+        out = capsys.readouterr().out
+        assert "-- vanilla --" in out and "-- random_clifford --" in out
+        assert out.count("device model") == 2
+
+    def test_run_dedupes_repeated_methods(self, capsys, monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        assert main(["run", "ising:n=3,J=0.5", "--backend", "nairobi",
+                     "--methods", "vanilla,vanilla"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("device model") == 1  # one run, one block
+
+    def test_run_rejects_bad_benchmark_parameter_value(self, capsys):
+        assert main(["run", "ising:n=abc"]) == 2
+        assert main(["run", "ising:J=abc"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot build benchmark" in err or "abc" in err
+
     def test_run_rejects_unknown_benchmark(self, capsys):
         assert main(["run", "bogus_bench"]) == 2
         err = capsys.readouterr().err
@@ -128,6 +172,10 @@ class TestCampaignCLI:
         bad.write_text('{"name": "b", "benchmarks": ["ising_J1.0"]}')
         assert main(["sweep", str(bad)]) == 2  # typo'd registry name
         assert "unknown benchmarks" in capsys.readouterr().err
+        bad.write_text('{"name": "b", "benchmarks": ["ising_J1.00"],'
+                       ' "methods": ["claptn"]}')
+        assert main(["sweep", str(bad)]) == 2  # typo'd method name
+        assert "did you mean 'clapton'" in capsys.readouterr().err
 
     def test_status_and_report_reject_missing_store(self, capsys, tmp_path):
         assert main(["status", str(tmp_path / "nope")]) == 2
