@@ -110,11 +110,49 @@ def drop_identity_rotations(circuit: Circuit, tol: float = 1e-12) -> Circuit:
         if inst.name == "i":
             continue
         if inst.name in ("rx", "ry", "rz") and inst.is_bound:
-            angle = float(inst.params[0]) % (2 * math.pi)
-            if min(angle, 2 * math.pi - angle) < tol:
+            if is_identity_angle(float(inst.params[0]), tol):
                 continue
         out.instructions.append(inst)
     return out
+
+
+def is_identity_angle(angle: float, tol: float = 1e-12) -> bool:
+    """Whether a rotation angle is an exact identity (0 mod 2*pi).
+
+    The single definition of the drop rule shared by
+    :func:`drop_identity_rotations` and the batched binding/schedule plans.
+    """
+    folded = angle % (2 * math.pi)
+    return min(folded, 2 * math.pi - folded) < tol
+
+
+def bound_skeleton_steps(template: Circuit, tol: float = 1e-12
+                         ) -> list[tuple]:
+    """``(instruction, parameter index | None)`` steps of a bound template.
+
+    The instruction skeleton that binding + :func:`drop_identity_rotations`
+    would leave, resolved once per template: explicit ``i`` gates and
+    zero-angle *bound* rotations are dropped here, parameterized rotations
+    keep their first parameter index for per-point decisions.  Shared by
+    the batched binding plan (:mod:`repro.execution.estimator`) and the
+    population Clifford schedule plan
+    (:class:`repro.noise.clifford_model.CliffordCircuitPlan`) so the
+    identity-drop semantics cannot drift between the serial and batched
+    paths.
+    """
+    steps: list[tuple] = []
+    for inst in template.instructions:
+        if inst.name == "i":
+            continue
+        indices = [p.index for p in inst.params if isinstance(p, Parameter)]
+        if indices:
+            steps.append((inst, indices[0]))
+            continue
+        if inst.name in ("rx", "ry", "rz") \
+                and is_identity_angle(float(inst.params[0]), tol):
+            continue
+        steps.append((inst, None))
+    return steps
 
 
 def num_transformation_parameters(num_qubits: int,
@@ -123,41 +161,58 @@ def num_transformation_parameters(num_qubits: int,
     return 4 * num_qubits + len(entanglement_pairs(num_qubits, entanglement))
 
 
+def transformation_slots(num_qubits: int, entanglement: str = "circular"
+                         ) -> list[tuple[str, tuple[int, ...], int]]:
+    """Forward slot layout of ``C(gamma)``: ``(kind, qubits, gene)`` triples.
+
+    The single definition of the genome decode shared by the serial
+    :func:`clapton_transformation_circuit` and the population-batched
+    :func:`~repro.core.transformation.transform_table_many`: the first
+    ``2N`` genes choose first-layer ``ry``/``rz`` rotation levels, the next
+    ``len(pairs)`` genes the two-qubit slot contents (Eq. 8), and the final
+    ``2N`` genes the second rotation layer.
+    """
+    pairs = entanglement_pairs(num_qubits, entanglement)
+    slots: list[tuple[str, tuple[int, ...], int]] = []
+    for q in range(num_qubits):
+        slots.append(("ry", (q,), 2 * q))
+        slots.append(("rz", (q,), 2 * q + 1))
+    offset = 2 * num_qubits
+    for j, pair in enumerate(pairs):
+        slots.append(("pair", pair, offset + j))
+    offset = 2 * num_qubits + len(pairs)
+    for q in range(num_qubits):
+        slots.append(("ry", (q,), offset + 2 * q))
+        slots.append(("rz", (q,), offset + 2 * q + 1))
+    return slots
+
+
 def clapton_transformation_circuit(gamma: Sequence[int], num_qubits: int,
                                    entanglement: str = "circular") -> Circuit:
     """Decode a genome ``gamma in {0,1,2,3}^{5N}`` into the Clifford ``C(gamma)``.
 
-    Genome layout mirrors :func:`hardware_efficient_ansatz`: the first ``2N``
-    entries choose first-layer rotation angles (``k * pi/2``), the next
-    ``len(pairs)`` entries choose the two-qubit slot contents (Eq. 8), and
-    the final ``2N`` entries the second rotation layer.
+    Genome layout mirrors :func:`hardware_efficient_ansatz`; see
+    :func:`transformation_slots` for the shared slot/gene map.
     """
     gamma = np.asarray(gamma, dtype=int)
-    pairs = entanglement_pairs(num_qubits, entanglement)
-    expected = 4 * num_qubits + len(pairs)
-    if gamma.shape != (expected,):
-        raise ValueError(f"gamma must have length {expected}, got {gamma.shape}")
+    slots = transformation_slots(num_qubits, entanglement)
+    if gamma.shape != (len(slots),):
+        raise ValueError(f"gamma must have length {len(slots)}, got {gamma.shape}")
     if np.any((gamma < 0) | (gamma > 3)):
         raise ValueError("gamma entries must be in {0, 1, 2, 3}")
 
     circ = Circuit(num_qubits)
-    for q in range(num_qubits):
-        _append_clifford_rotation(circ, "ry", gamma[2 * q], q)
-        _append_clifford_rotation(circ, "rz", gamma[2 * q + 1], q)
-    offset = 2 * num_qubits
-    for j, (k, l) in enumerate(pairs):
-        slot = gamma[offset + j]
-        if slot == 1:
-            circ.cx(k, l)
-        elif slot == 2:
-            circ.cx(l, k)
-        elif slot == 3:
-            circ.swap(k, l)
-        # slot == 0: identity, emit nothing
-    offset = 2 * num_qubits + len(pairs)
-    for q in range(num_qubits):
-        _append_clifford_rotation(circ, "ry", gamma[offset + 2 * q], q)
-        _append_clifford_rotation(circ, "rz", gamma[offset + 2 * q + 1], q)
+    for kind, qubits, gene in slots:
+        level = gamma[gene]
+        if kind != "pair":
+            _append_clifford_rotation(circ, kind, level, qubits[0])
+        elif level == 1:
+            circ.cx(*qubits)
+        elif level == 2:
+            circ.cx(qubits[1], qubits[0])
+        elif level == 3:
+            circ.swap(*qubits)
+        # pair level == 0: identity, emit nothing
     return circ
 
 

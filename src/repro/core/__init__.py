@@ -4,17 +4,19 @@ from .transformation import (
     embed_table,
     transform_hamiltonian,
     transform_table,
+    transform_table_many,
     transformation_tableau,
     untransform_state_circuit,
 )
 from .problem import VQEProblem
-from .loss import CafqaLoss, ClaptonLoss
+from .loss import CafqaLoss, ClaptonLoss, NcafqaLoss
 from .clapton import InitializationResult, cafqa, clapton, ncafqa
 from .evaluation import PointEvaluation, evaluate_initial_point
 
 __all__ = [
-    "CafqaLoss", "ClaptonLoss", "InitializationResult", "PointEvaluation",
-    "VQEProblem", "cafqa", "clapton", "embed_table",
+    "CafqaLoss", "ClaptonLoss", "InitializationResult", "NcafqaLoss",
+    "PointEvaluation", "VQEProblem", "cafqa", "clapton", "embed_table",
     "evaluate_initial_point", "ncafqa", "transform_hamiltonian",
-    "transform_table", "transformation_tableau", "untransform_state_circuit",
+    "transform_table", "transform_table_many", "transformation_tableau",
+    "untransform_state_circuit",
 ]

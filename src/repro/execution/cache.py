@@ -2,11 +2,16 @@
 
 Converging GA populations re-propose identical genomes constantly, so every
 evaluation surface wants a ``genome -> loss`` memo table.  The table here is
-a plain ``bytes -> float`` dict (the same representation
-:class:`~repro.optim.genetic.GeneticAlgorithm` uses internally), wrapped so
-that the Figure-4 engine can ship snapshots to worker threads/processes and
-merge the new entries back after each round -- the serial, threaded, and
-multi-process paths all share one cache discipline.
+a plain ``bytes -> float`` dict, wrapped so that the Figure-4 engine can
+ship snapshots to worker threads/processes and merge the new entries back
+after each round -- the serial, threaded, and multi-process paths (and the
+:class:`~repro.optim.genetic.GeneticAlgorithm`, which routes all its
+memoisation through this wrapper) share one cache discipline.
+
+:meth:`MemoizedLoss.evaluate_many` is the batch face of the same table:
+dedupe a whole population within the batch and against the cache, then
+dispatch only the distinct misses -- through the loss's own population-
+batched ``evaluate_many`` when it provides one.
 """
 
 from __future__ import annotations
@@ -51,6 +56,51 @@ class MemoizedLoss:
         self.cache[key] = value
         self.misses += 1
         return value
+
+    def evaluate_many(self, genomes) -> np.ndarray:
+        """``(P,)`` losses of a genome batch, deduped before dispatch.
+
+        Within-batch duplicates and cache hits are resolved first; only the
+        distinct misses reach the wrapped loss -- through its own batched
+        ``evaluate_many`` when it has one, else one call per miss in
+        first-occurrence order.  Values and hit/miss accounting are
+        identical to calling the wrapper genome by genome (a within-batch
+        duplicate is one miss plus hits, exactly as the serial order would
+        produce), so the GA's generation loop can switch to batches without
+        moving any number.
+        """
+        genomes = np.asarray(genomes)
+        out = np.empty(len(genomes))
+        miss_keys: list[bytes] = []           # first-occurrence order
+        miss_rows: dict[bytes, list[int]] = {}
+        for i, genome in enumerate(genomes):
+            key = genome_key(genome)
+            hit = self.cache.get(key)
+            if hit is not None:
+                out[i] = hit
+                self.hits += 1
+            elif key in miss_rows:
+                miss_rows[key].append(i)
+                self.hits += 1
+            else:
+                miss_rows[key] = [i]
+                miss_keys.append(key)
+        if miss_keys:
+            reps = np.stack([genomes[miss_rows[k][0]] for k in miss_keys])
+            batch_fn = getattr(self.loss_fn, "evaluate_many", None)
+            if batch_fn is not None:
+                values = np.asarray(batch_fn(reps), dtype=float)
+                if values.shape != (len(miss_keys),):
+                    raise ValueError(
+                        f"loss evaluate_many returned shape {values.shape} "
+                        f"for {len(miss_keys)} genomes")
+            else:
+                values = np.array([float(self.loss_fn(g)) for g in reps])
+            for key, value in zip(miss_keys, values):
+                self.cache[key] = float(value)
+                self.misses += 1
+                out[miss_rows[key]] = value
+        return out
 
     def __len__(self) -> int:
         return len(self.cache)

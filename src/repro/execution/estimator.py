@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..circuits.circuit import Circuit, Parameter
+from ..circuits.circuit import Circuit
 from ..densesim.evaluator import evolve_with_noise, measurement_attenuations
 from ..noise.clifford_model import CliffordNoiseModel
 from ..noise.model import NoiseModel
@@ -139,23 +139,13 @@ class _BindingPlan:
     """
 
     def __init__(self, template: Circuit, tol: float = 1e-12):
+        from ..circuits.ansatz import bound_skeleton_steps
+
         self.num_qubits = template.num_qubits
         self.num_parameters = template.num_parameters
         self.tol = tol
         #: (instruction, parameter index | None); None = append verbatim
-        self.steps: list[tuple] = []
-        for inst in template.instructions:
-            if inst.name == "i":
-                continue
-            indices = [p.index for p in inst.params if isinstance(p, Parameter)]
-            if indices:
-                self.steps.append((inst, indices[0]))
-                continue
-            if inst.name in ("rx", "ry", "rz"):
-                angle = float(inst.params[0]) % _TWO_PI
-                if min(angle, _TWO_PI - angle) < tol:
-                    continue
-            self.steps.append((inst, None))
+        self.steps: list[tuple] = bound_skeleton_steps(template, tol)
 
     def bind(self, theta: np.ndarray) -> Circuit:
         if len(theta) < self.num_parameters:
@@ -436,7 +426,9 @@ class ShotSamplingEstimator(BaseEstimator):
         observable: Hamiltonian on the evaluation register.
         noise_model: Device model (defaults to the problem's).
         shots: Shots per measurement basis.
-        seed: Sampling seed.
+        seed: Sampling seed; ``None`` (the default) draws fresh OS entropy,
+            matching every other estimator -- pass an explicit seed for
+            reproducible sampling.
         readout_mitigation: Apply tensored confusion-matrix inversion to
             every sampled distribution before estimating expectations.
     """
@@ -445,7 +437,7 @@ class ShotSamplingEstimator(BaseEstimator):
 
     def __init__(self, problem: "VQEProblem", observable: PauliSum,
                  noise_model: NoiseModel | None = None, shots: int = 4096,
-                 seed: int | None = 0, readout_mitigation: bool = False):
+                 seed: int | None = None, readout_mitigation: bool = False):
         from ..mitigation.readout import confusion_matrices
         from ..vqe.grouping import group_qubit_wise_commuting
 
@@ -529,6 +521,7 @@ class CliffordEstimator(BaseEstimator):
         self.clifford_model = clifford_model or CliffordNoiseModel(
             self.noise_model)
         self._coefficients = observable.coefficients
+        self._clifford_plan = None
 
     def _finish(self, circuit: Circuit, start: float) -> EstimateResult:
         if not circuit.is_clifford():
@@ -551,6 +544,49 @@ class CliffordEstimator(BaseEstimator):
     def _estimate_batched(self, theta: np.ndarray) -> EstimateResult:
         start = time.perf_counter()
         return self._finish(self._bound_circuit_batched(theta), start)
+
+    def estimate_many(self, thetas: np.ndarray) -> BatchResult:
+        """One stacked backward tableau pass for the whole batch.
+
+        The observable's term table is tiled once per point into a
+        ``(P*M, n)`` bit tensor and the Pauli-channel projection walks the
+        shared ansatz skeleton a single time, applying each point's kept
+        rotations through per-point row masks
+        (:class:`~repro.noise.clifford_model.CliffordCircuitPlan`) --
+        instead of rebuilding the bound circuit and re-running the pass
+        per point.  Per-point values are bit-identical to
+        :meth:`estimate`.
+        """
+        from ..noise.clifford_model import CliffordCircuitPlan
+
+        start = time.perf_counter()
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        num_points = len(thetas)
+        if self._clifford_plan is None:
+            self._clifford_plan = CliffordCircuitPlan(
+                self.problem.eval_ansatz)
+        plan = self._clifford_plan
+        if not plan.is_clifford(thetas):
+            raise ValueError(
+                "CliffordEstimator requires a Clifford parameter point "
+                "(every angle a multiple of pi/2)")
+        table = self.observable.table
+        num_terms = table.num_rows
+        schedule = plan.reverse_schedule(thetas, num_terms)
+        values = self.clifford_model.noisy_zero_state_term_values_steps(
+            schedule, table.tile(num_points))
+        term_matrix = values.reshape(num_points, num_terms)
+        self.num_evaluations += num_points
+        seconds = time.perf_counter() - start
+        results = [EstimateResult(
+            value=(value := float(self._coefficients @ term_matrix[b])),
+            exact_value=value, term_expectations=term_matrix[b],
+            variance=0.0, shots=None, seconds=seconds / num_points,
+            mode=self.mode) for b in range(num_points)]
+        return BatchResult(
+            values=np.array([r.value for r in results]),
+            results=results,
+            seconds=time.perf_counter() - start)
 
 
 # ----------------------------------------------------------------------
@@ -578,7 +614,12 @@ def make_estimator(problem: "VQEProblem", observable: PauliSum | None = None,
         noise_model: Device model override (e.g. a hardware twin).
         shots: Shot budget; for ``"exact"`` ``None`` means infinite shots,
             for ``"shots"`` it defaults to 4096.
-        seed: Seed of the estimator's sampling generator.
+        seed: Seed of the estimator's sampling generator.  ``seed=None``
+            (the default) means fresh OS entropy in **every** mode --
+            identical calls are then statistically independent, never
+            silently pinned.  Pass an explicit seed for reproducible
+            sampling; exact infinite-shot and Clifford estimates are
+            deterministic and take no seed.
         readout_mitigation: (``"shots"`` only) tensored confusion-matrix
             inversion before expectation reconstruction.
         clifford_model: (``"clifford"`` only) override the Pauli-channel
@@ -606,8 +647,7 @@ def make_estimator(problem: "VQEProblem", observable: PauliSum | None = None,
         return ShotSamplingEstimator(
             problem, observable, noise_model=noise_model,
             shots=4096 if shots is None else shots,
-            seed=0 if seed is None else seed,
-            readout_mitigation=readout_mitigation)
+            seed=seed, readout_mitigation=readout_mitigation)
     if mode == "clifford":
         reject(shots=shots, seed=seed, readout_mitigation=readout_mitigation)
         return CliffordEstimator(problem, observable, noise_model=noise_model,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits.ansatz import cafqa_angles
-from ..core.loss import CafqaLoss, ClaptonLoss
+from ..core.loss import CafqaLoss, ClaptonLoss, NcafqaLoss
 from ..core.problem import VQEProblem
 from ..core.transformation import transform_hamiltonian
 from ..noise.clifford_model import CliffordNoiseModel
@@ -36,8 +36,9 @@ class CafqaMethod(InitializationMethod):
         return problem.num_vqe_parameters
 
     def make_loss(self, problem: VQEProblem):
-        return CafqaLoss(problem, noise_aware=self.noise_aware,
-                         clifford_model=self.clifford_model)
+        if self.noise_aware:
+            return NcafqaLoss(problem, clifford_model=self.clifford_model)
+        return CafqaLoss(problem, clifford_model=self.clifford_model)
 
     def decode(self, problem: VQEProblem, genome) -> DecodedPoint:
         return DecodedPoint(vqe_hamiltonian=problem.hamiltonian,

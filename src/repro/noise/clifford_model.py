@@ -27,8 +27,12 @@ validation and parity with the paper's implementation).
 
 from __future__ import annotations
 
+import math
+from dataclasses import replace
+
 import numpy as np
 
+from ..circuits.ansatz import is_identity_angle
 from ..circuits.circuit import Circuit, _INVERSE_NAME
 from ..paulis.pauli_sum import PauliSum
 from ..stabilizer.simulator import StabilizerSimulator
@@ -129,6 +133,23 @@ class CliffordNoiseModel:
         The coefficient-weighted sum of these is the L_N energy; the
         Clifford fast-path estimator exposes them individually.
         """
+        return self.noisy_zero_state_term_values_steps(
+            [(inst, None) for inst in reversed(circuit.instructions)], table)
+
+    def noisy_zero_state_term_values_steps(self, steps, table) -> np.ndarray:
+        """The same backward pass over an explicit *reverse-order* schedule.
+
+        ``steps`` is a sequence of ``(instruction, rows)`` pairs already in
+        reverse circuit order, where ``rows`` is either ``None`` (the gate
+        applies to every table row) or a boolean row mask.  This is the
+        population-batched entry point: stack one Hamiltonian table copy
+        per genome (:meth:`~repro.paulis.table.PauliTable.tile`), build a
+        schedule whose masks select each genome's rows for its own gate
+        choices (:class:`CliffordCircuitPlan`), and all genomes' term
+        values come out of one vectorized walk.  Every arithmetic step is
+        row-wise, so masked results are bit-identical to running the
+        serial pass per genome.
+        """
         nm = self.noise_model
         table = table.copy()
         factors = self.measurement_attenuations(table)
@@ -141,27 +162,114 @@ class CliffordNoiseModel:
             probs = np.array([1.0 - sum(flips), *flips])
             f_i, f_x, f_y, f_z = pauli_channel_attenuation(probs)
             flip_by_code = np.array([f_i, f_x, f_z, f_y])
-        for inst in reversed(circuit.instructions):
+        for inst, rows in steps:
             qubits = list(inst.qubits)
+            sel = slice(None) if rows is None else rows
             p = nm.gate_depol(inst)
             if p > 0:
                 touched = (table.x[:, qubits] | table.z[:, qubits]).any(axis=1)
+                if rows is not None:
+                    touched &= rows
                 factor = (1.0 - 4.0 * p / 3.0) if len(qubits) == 1 \
                     else (1.0 - 16.0 * p / 15.0)
                 factors[touched] *= factor
             if flip_by_code is not None:
                 for q in qubits:
-                    codes = (table.x[:, q].astype(np.int8)
-                             + 2 * table.z[:, q].astype(np.int8))
-                    factors *= flip_by_code[codes]
+                    codes = (table.x[sel, q].astype(np.int8)
+                             + 2 * table.z[sel, q].astype(np.int8))
+                    factors[sel] *= flip_by_code[codes]
             if relax:
                 duration = nm.gate_duration(inst)
                 for q in qubits:
-                    codes = (table.x[:, q].astype(np.int8)
-                             + 2 * table.z[:, q].astype(np.int8))
-                    factors *= self._relaxation_factors_by_code(q, duration)[codes]
-            apply_gate_to_table(table, _inverse_gate_tableau(inst), inst.qubits)
+                    by_code = self._relaxation_factors_by_code(q, duration)
+                    codes = (table.x[sel, q].astype(np.int8)
+                             + 2 * table.z[sel, q].astype(np.int8))
+                    factors[sel] *= by_code[codes]
+            apply_gate_to_table(table, _inverse_gate_tableau(inst),
+                                inst.qubits, rows=rows)
         return factors * table.expectation_all_zeros()
+
+
+_TWO_PI = 2.0 * math.pi
+
+
+class CliffordCircuitPlan:
+    """Population schedule over a parameterized Clifford-point template.
+
+    Precomputes, once per ansatz template, the instruction skeleton that
+    :func:`~repro.circuits.ansatz.drop_identity_rotations` would leave after
+    binding (explicit ``i`` gates and zero-angle *bound* rotations are
+    dropped at plan time), then turns a ``(P, d)`` batch of parameter points
+    into one reverse-order ``(instruction, rows)`` schedule: points sharing
+    the exact same angle at a parameterized rotation are grouped under one
+    boolean row mask, so a whole population is conjugated through
+    :meth:`CliffordNoiseModel.noisy_zero_state_term_values_steps` (or plain
+    masked :func:`~repro.stabilizer.tableau.apply_gate_to_table` calls) in
+    a handful of numpy ops per slot.  The per-point instruction sequence is
+    identical to ``drop_identity_rotations(template.bind(theta))``, so
+    batched results are bit-identical to the serial schedule.
+    """
+
+    def __init__(self, template: Circuit, tol: float = 1e-12):
+        from ..circuits.ansatz import bound_skeleton_steps
+
+        self.num_qubits = template.num_qubits
+        self.num_parameters = template.num_parameters
+        self.tol = tol
+        #: (instruction, parameter index | None); None = static instruction
+        self.steps: list[tuple] = bound_skeleton_steps(template, tol)
+
+    def _check_thetas(self, thetas: np.ndarray) -> np.ndarray:
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if thetas.shape[1] < self.num_parameters:
+            raise ValueError(f"need {self.num_parameters} parameter values, "
+                             f"got {thetas.shape[1]}")
+        return thetas
+
+    def is_clifford(self, thetas: np.ndarray) -> bool:
+        """Whether every point binds the template to a Clifford circuit."""
+        thetas = self._check_thetas(thetas)
+        for inst, index in self.steps:
+            if index is None:
+                if not inst.is_bound or not inst.spec.is_clifford(
+                        tuple(float(p) for p in inst.params)):
+                    return False
+                continue
+            for angle in np.unique(thetas[:, index]):
+                if is_identity_angle(float(angle), self.tol):
+                    continue  # dropped as an exact identity
+                if not inst.spec.is_clifford((float(angle),)):
+                    return False
+        return True
+
+    def reverse_schedule(self, thetas: np.ndarray, rows_per_point: int
+                         ) -> list[tuple]:
+        """``(instruction, rows)`` pairs in reverse circuit order.
+
+        ``rows_per_point`` is the number of stacked table rows each point
+        owns (the Hamiltonian's term count M); point ``p`` owns the
+        contiguous row block ``[p*M, (p+1)*M)``.  Static instructions get
+        ``rows=None`` (every point shares them); parameterized rotations
+        get one entry per distinct kept angle with the matching row mask,
+        zero angles dropping out exactly as the serial identity-drop does.
+        """
+        thetas = self._check_thetas(thetas)
+        num_points = len(thetas)
+        point_of_row = np.repeat(np.arange(num_points), rows_per_point)
+        schedule: list[tuple] = []
+        for inst, index in reversed(self.steps):
+            if index is None:
+                schedule.append((inst, None))
+                continue
+            angles = thetas[:, index]
+            # vectorized is_identity_angle over the whole population
+            folded = angles % _TWO_PI
+            kept = np.minimum(folded, _TWO_PI - folded) >= self.tol
+            for angle in np.unique(angles[kept]):
+                members = kept & (angles == angle)
+                bound = replace(inst, params=(float(angle),))
+                schedule.append((bound, members[point_of_row]))
+        return schedule
 
 
 def sample_noisy_energy(circuit: Circuit, hamiltonian: PauliSum,

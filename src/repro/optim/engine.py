@@ -21,10 +21,17 @@ other parallel runs with the same seed (but not the serial schedule), and
 the shared loss cache travels with the jobs: each worker starts from the
 current table snapshot and the parent merges the discoveries back, so
 repeated genomes never re-pay a full evaluation in any mode.
+
+``EngineConfig.parallel_axis = "population"`` selects a second parallel
+unit: GA instances stay on the serial schedule and each generation's
+deduped loss batch is sharded across the executor's workers instead
+(:class:`_ShardedBatchLoss`), combining parallel loss evaluation with
+results bit-identical to the serial engine.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -33,7 +40,12 @@ from typing import Callable
 import numpy as np
 
 from ..execution.cache import memoize_loss
-from ..execution.executor import Executor, resolve_executor, spawn_seeds
+from ..execution.executor import (
+    Executor,
+    SerialExecutor,
+    resolve_executor,
+    spawn_seeds,
+)
 from .genetic import GAConfig, GeneticAlgorithm
 
 
@@ -56,10 +68,38 @@ class EngineConfig:
     pool_fraction: float = 0.5
     ga: GAConfig = field(default_factory=GAConfig)
     seed: int | None = None
+    #: Which axis a parallel executor fans out: ``"instances"`` ships whole
+    #: GA instances to workers (each with its own seed stream -- fast, but
+    #: a different schedule than serial); ``"population"`` keeps the exact
+    #: serial schedule and instead shards each generation's deduped loss
+    #: batch across the workers, so results stay bit-identical to the
+    #: serial engine while the loss evaluations -- the dominant cost --
+    #: run in parallel.  Ignored under a serial executor.
+    parallel_axis: str = "instances"
     #: Deprecated: pass ``executor=ProcessExecutor(n)`` to
     #: :func:`multi_ga_minimize` instead.  Kept as a compatibility knob;
     #: values > 1 select a process executor with a deprecation warning.
     num_processes: int = 1
+
+    def validate(self) -> None:
+        """Reject configurations the round loop cannot run to completion.
+
+        Called by :func:`multi_ga_minimize` before any evaluation is spent,
+        so a bad working point fails fast instead of burning a full round
+        and then crashing in the mix step.
+        """
+        for name in ("num_instances", "population_size", "max_rounds"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"EngineConfig.{name} must be >= 1")
+        for name in ("generations_per_round", "top_k", "retry_rounds",
+                     "num_processes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"EngineConfig.{name} must be >= 0")
+        if not 0.0 <= self.pool_fraction <= 1.0:
+            raise ValueError("EngineConfig.pool_fraction must be in [0, 1]")
+        if self.parallel_axis not in ("instances", "population"):
+            raise ValueError("EngineConfig.parallel_axis must be "
+                             "'instances' or 'population'")
 
 
 @dataclass
@@ -117,6 +157,46 @@ def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
             result.num_evaluations, new_entries)
 
 
+def _evaluate_shard(job) -> np.ndarray:
+    """Worker: losses of one population shard (top-level for pickling)."""
+    loss_fn, genomes = job
+    batch_fn = getattr(loss_fn, "evaluate_many", None)
+    if batch_fn is not None:
+        return np.asarray(batch_fn(genomes), dtype=float)
+    return np.array([float(loss_fn(g)) for g in genomes])
+
+
+class _ShardedBatchLoss:
+    """Loss adapter fanning each generation's miss batch over an executor.
+
+    The ``parallel_axis = "population"`` engine mode keeps the legacy
+    serial schedule (one rng, live cache, instances run inline) and makes
+    the *loss evaluations* the parallel unit instead: the deduped batch a
+    GA generation produces is split into one shard per worker and shipped
+    through ``executor.map``.  Shard results concatenate in genome order
+    and every per-genome value is computed by the same batched arithmetic,
+    so results are bit-identical to the serial engine.
+    """
+
+    def __init__(self, loss_fn, executor: Executor, num_shards: int):
+        self.loss_fn = loss_fn
+        self.executor = executor
+        self.num_shards = max(1, int(num_shards))
+
+    def __call__(self, genome) -> float:
+        return float(self.loss_fn(genome))
+
+    def evaluate_many(self, genomes) -> np.ndarray:
+        genomes = np.asarray(genomes)
+        num_shards = min(self.num_shards, len(genomes))
+        if num_shards <= 1:
+            return _evaluate_shard((self.loss_fn, genomes))
+        shards = np.array_split(genomes, num_shards)
+        parts = self.executor.map(
+            _evaluate_shard, [(self.loss_fn, shard) for shard in shards])
+        return np.concatenate(parts)
+
+
 def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
                       genome_length: int, num_values: int = 4,
                       config: EngineConfig | None = None,
@@ -135,6 +215,7 @@ def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
             ``config.num_processes`` exceeds 1).
     """
     cfg = config or EngineConfig()
+    cfg.validate()
     if executor is None and cfg.num_processes > 1:
         warnings.warn(
             "EngineConfig.num_processes is deprecated; pass "
@@ -152,7 +233,22 @@ def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
 def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
                      cfg: EngineConfig, executor: Executor) -> EngineResult:
     """The single round loop shared by every execution backend."""
-    sequential = executor.in_process_sequential
+    population_axis = (cfg.parallel_axis == "population"
+                       and not executor.in_process_sequential)
+    if population_axis:
+        # Population sharding: instances run inline on the serial
+        # schedule; the executor parallelizes each generation's deduped
+        # loss batch instead (bit-identical to the serial engine).
+        # Executors outside this package may not expose max_workers;
+        # shard by core count then, so batches still go through map.
+        num_shards = (getattr(executor, "max_workers", None)
+                      or os.cpu_count() or 1)
+        loss_fn = _ShardedBatchLoss(loss_fn, executor, num_shards)
+        instance_executor: Executor = SerialExecutor()
+        sequential = True
+    else:
+        instance_executor = executor
+        sequential = executor.in_process_sequential
     memo = memoize_loss(loss_fn)
     if sequential:
         # Legacy serial schedule: one rng threads through the GA instances
@@ -190,7 +286,7 @@ def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
             jobs = [(loss_fn, genome_length, num_values, ga_config, seeds[i],
                      populations[i], cfg.top_k, memo.snapshot(), True)
                     for i in range(cfg.num_instances)]
-        outcomes = executor.map(_run_one_instance, jobs)
+        outcomes = instance_executor.map(_run_one_instance, jobs)
 
         round_evals = 0
         pool: list[tuple[float, np.ndarray]] = []
@@ -218,6 +314,11 @@ def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
 
         # Mix: shuffle the pooled elites into fresh seed populations,
         # topping up with brand-new random guesses (Figure 4, right side).
+        if not pool:
+            # top_k = 0 leaves nothing to pool; reseed every instance from
+            # fresh random guesses instead of crashing in rng.choice.
+            populations = [None] * cfg.num_instances
+            continue
         pool_genomes = np.array([g for _, g in pool])
         draw = max(1, int(cfg.pool_fraction * cfg.population_size))
         for i in range(cfg.num_instances):

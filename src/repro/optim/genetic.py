@@ -4,8 +4,14 @@ Clapton and the CAFQA baselines search discrete spaces ``{0,1,2,3}^d``
 (Sec. 4.1): genomes are integer vectors, fitness is the negated loss.  The
 operator set matches what the paper's PyGAD configuration provides:
 tournament selection, uniform crossover, per-gene random-reset mutation, and
-elitism.  Loss evaluations are memoised because converging populations
-re-propose identical genomes constantly.
+elitism.  Loss evaluations are memoised through the shared
+:class:`~repro.execution.cache.MemoizedLoss` wrapper (converging populations
+re-propose identical genomes constantly), and each generation is evaluated
+as **one batch**: the wrapper dedupes the population within the batch and
+against the cache, then dispatches only the distinct misses -- through the
+loss's population-batched ``evaluate_many`` when it provides one (all the
+Clifford losses do), else one call per miss.  Values and evaluation counts
+are bit-identical to the historical per-genome loop either way.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+from ..execution.cache import MemoizedLoss, memoize_loss
 
 
 @dataclass
@@ -48,7 +56,10 @@ class GeneticAlgorithm:
     """Minimize ``loss_fn`` over integer genomes.
 
     Args:
-        loss_fn: Maps a genome (1-D int array) to a float loss.
+        loss_fn: Maps a genome (1-D int array) to a float loss.  A loss
+            exposing a population-batched ``evaluate_many(genomes)`` is
+            dispatched one deduped batch per generation instead of one
+            call per genome.
         genome_length: Number of genes.
         num_values: Genes take values ``0..num_values-1`` (4 throughout the
             paper: Clifford rotation levels / two-qubit slot choices).
@@ -56,6 +67,10 @@ class GeneticAlgorithm:
         rng: Random generator (owned by the caller for reproducibility).
         cache: Optional shared memo table ``genome-bytes -> loss`` so that
             multiple GA instances in the engine never re-evaluate a genome.
+            Memoisation always goes through one
+            :class:`~repro.execution.cache.MemoizedLoss` wrapper (adopted
+            when ``loss_fn`` already is one and no separate ``cache`` is
+            supplied), so hit/miss accounting has exactly one home.
     """
 
     def __init__(self, loss_fn: Callable[[np.ndarray], float],
@@ -66,15 +81,25 @@ class GeneticAlgorithm:
         if genome_length < 1:
             raise ValueError("genome_length must be positive")
         self.loss_fn = loss_fn
+        if isinstance(loss_fn, MemoizedLoss) and (cache is None
+                                                  or cache is loss_fn.cache):
+            self._memo = loss_fn
+        else:
+            self._memo = memoize_loss(loss_fn, cache)
+        self.cache = self._memo.cache
+        self._misses_at_start = self._memo.misses
         self.genome_length = genome_length
         self.num_values = num_values
         self.config = config or GAConfig()
         self.rng = rng or np.random.default_rng()
-        self.cache = cache if cache is not None else {}
-        self.num_evaluations = 0
         rate = self.config.mutation_rate
         self._mutation_rate = (min(1.0, 1.5 / genome_length)
                                if rate is None else rate)
+
+    @property
+    def num_evaluations(self) -> int:
+        """Distinct loss evaluations this instance paid (cache misses)."""
+        return self._memo.misses - self._misses_at_start
 
     # ------------------------------------------------------------------
     # Population utilities
@@ -84,17 +109,10 @@ class GeneticAlgorithm:
                                  size=(size, self.genome_length))
 
     def evaluate(self, genome: np.ndarray) -> float:
-        key = np.ascontiguousarray(genome, dtype=np.int64).tobytes()
-        hit = self.cache.get(key)
-        if hit is not None:
-            return hit
-        value = float(self.loss_fn(genome))
-        self.cache[key] = value
-        self.num_evaluations += 1
-        return value
+        return self._memo(genome)
 
     def _evaluate_population(self, population: np.ndarray) -> np.ndarray:
-        return np.array([self.evaluate(g) for g in population])
+        return self._memo.evaluate_many(population)
 
     # ------------------------------------------------------------------
     # Operators

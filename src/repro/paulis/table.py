@@ -84,6 +84,20 @@ class PauliTable:
     def copy(self) -> "PauliTable":
         return PauliTable(self.x.copy(), self.z.copy(), self.phase_exp.copy())
 
+    def tile(self, reps: int) -> "PauliTable":
+        """``reps`` stacked copies of this table, as one ``(reps*M, n)`` table.
+
+        The population-batched Clifford losses stack one Hamiltonian table
+        copy per genome and conjugate all of them through per-genome row
+        masks in a handful of numpy ops.  Copy ``p`` occupies the contiguous
+        row block ``[p*M, (p+1)*M)``.
+        """
+        if reps < 0:
+            raise ValueError("reps must be >= 0")
+        return PauliTable(np.tile(self.x, (reps, 1)),
+                          np.tile(self.z, (reps, 1)),
+                          np.tile(self.phase_exp, reps))
+
     def row(self, i: int) -> PauliString:
         return PauliString(self.x[i].copy(), self.z[i].copy(), int(self.phase_exp[i]))
 

@@ -200,7 +200,8 @@ def _conjugation_lut(gate: CliffordTableau
 
 
 def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
-                        qubits: Sequence[int]) -> None:
+                        qubits: Sequence[int],
+                        rows: np.ndarray | None = None) -> None:
     """In place, conjugate every row of ``table`` by a small gate on ``qubits``.
 
     The restriction of a row to ``qubits`` is a sub-Pauli with zero phase
@@ -209,6 +210,12 @@ def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
     Dispatches through per-gate code lookup tables (see
     :func:`_conjugation_lut`); the generic row-multiplication path is kept
     for gates wider than the LUT supports.
+
+    ``rows`` optionally restricts the conjugation to a boolean row mask --
+    the seam population-batched evaluation uses to apply each genome's gate
+    choice to only that genome's rows of a stacked table.  Masked rows see
+    exactly the arithmetic the unmasked path applies, so per-row results
+    are bit-identical either way.
     """
     qubits = list(qubits)
     k = gate.num_qubits
@@ -216,15 +223,34 @@ def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
         raise ValueError("gate arity does not match qubit list")
     if k <= 2:
         lut_x, lut_z, lut_dq = _conjugation_lut(gate)
-        codes = (table.x[:, qubits[0]] + 2 * table.z[:, qubits[0]].astype(np.int64))
+        if rows is None:
+            codes = (table.x[:, qubits[0]]
+                     + 2 * table.z[:, qubits[0]].astype(np.int64))
+            if k == 2:
+                codes = codes + 4 * (table.x[:, qubits[1]]
+                                     + 2 * table.z[:, qubits[1]].astype(np.int64))
+            for j, q in enumerate(qubits):
+                table.x[:, q] = lut_x[codes, j]
+                table.z[:, q] = lut_z[codes, j]
+            table.phase_exp += lut_dq[codes]
+            table.phase_exp %= 4
+            return
+        codes = (table.x[rows, qubits[0]]
+                 + 2 * table.z[rows, qubits[0]].astype(np.int64))
         if k == 2:
-            codes = codes + 4 * (table.x[:, qubits[1]]
-                                 + 2 * table.z[:, qubits[1]].astype(np.int64))
+            codes = codes + 4 * (table.x[rows, qubits[1]]
+                                 + 2 * table.z[rows, qubits[1]].astype(np.int64))
         for j, q in enumerate(qubits):
-            table.x[:, q] = lut_x[codes, j]
-            table.z[:, q] = lut_z[codes, j]
-        table.phase_exp += lut_dq[codes]
-        table.phase_exp %= 4
+            table.x[rows, q] = lut_x[codes, j]
+            table.z[rows, q] = lut_z[codes, j]
+        table.phase_exp[rows] = (table.phase_exp[rows] + lut_dq[codes]) % 4
+        return
+    if rows is not None:
+        sub = PauliTable(table.x[rows], table.z[rows], table.phase_exp[rows])
+        apply_gate_to_table(sub, gate, qubits)
+        table.x[rows] = sub.x
+        table.z[rows] = sub.z
+        table.phase_exp[rows] = sub.phase_exp
         return
     subx = table.x[:, qubits]
     subz = table.z[:, qubits]

@@ -129,6 +129,51 @@ class TestEngine:
         assert result.num_rounds == 1 + 2 + 1  # first + 2 retries + final
 
 
+class TestEngineEdgeCases:
+    def test_top_k_zero_completes_with_fresh_reseeds(self):
+        """Regression: an empty elite pool used to crash rng.choice after
+        the round had already burned all its evaluations."""
+        config = EngineConfig(num_instances=2, generations_per_round=2,
+                              top_k=0, population_size=6, retry_rounds=1,
+                              max_rounds=4, seed=0)
+        result = multi_ga_minimize(count_nonzero_loss, genome_length=5,
+                                   config=config)
+        assert np.isfinite(result.best_loss)
+        assert result.num_rounds >= 2  # it survived at least one mix step
+
+    def test_config_validated_before_any_evaluation(self):
+        calls = []
+
+        def counting_loss(genome):
+            calls.append(1)
+            return 0.0
+
+        bad = [EngineConfig(num_instances=0),
+               EngineConfig(population_size=0),
+               EngineConfig(max_rounds=0),
+               EngineConfig(top_k=-1),
+               EngineConfig(retry_rounds=-1),
+               EngineConfig(generations_per_round=-1),
+               EngineConfig(pool_fraction=1.5),
+               EngineConfig(parallel_axis="bogus")]
+        for config in bad:
+            with pytest.raises(ValueError, match="EngineConfig"):
+                multi_ga_minimize(counting_loss, genome_length=3,
+                                  config=config)
+        assert calls == []
+
+    def test_ga_accounting_lives_in_shared_wrapper(self):
+        from repro.execution import memoize_loss
+
+        memo = memoize_loss(count_nonzero_loss)
+        ga = GeneticAlgorithm(memo, genome_length=4,
+                              config=GAConfig(population_size=15,
+                                              num_generations=10),
+                              rng=np.random.default_rng(8))
+        ga.run()
+        assert ga.num_evaluations == memo.misses == len(memo.cache)
+
+
 class TestSPSA:
     def test_quadratic_convergence(self):
         target = np.array([1.0, -2.0, 0.5])
