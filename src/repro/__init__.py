@@ -73,6 +73,15 @@ from .methods import (
     method_names,
     register_method,
 )
+from .search import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTrace,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from .vqe import EnergyEstimator, VQETrace, run_vqe
 from .experiments import Experiment, ExperimentResult
 from .campaigns import (
@@ -108,18 +117,19 @@ __all__ = [
     "GAConfig", "InitializationMethod", "InitializationResult",
     "NoiseModel", "Parameter",
     "PauliString", "PauliSum", "PauliTable", "ProcessExecutor",
-    "ResultStore", "SPSAConfig", "SerialExecutor",
+    "ResultStore", "SPSAConfig", "SearchBudget", "SearchResult",
+    "SearchStrategy", "SearchTrace", "SerialExecutor",
     "ShotSamplingEstimator", "StabilizerSimulator", "TaskSpec",
     "ThreadExecutor", "TranspileResult",
     "VQEProblem", "VQETrace", "cafqa", "clapton",
     "clapton_transformation_circuit", "clifford_state_expectation",
     "evaluate_initial_point", "expand_benchmarks", "geometric_mean",
-    "get_benchmark", "get_method", "ground_state_energy",
+    "get_benchmark", "get_method", "get_strategy", "ground_state_energy",
     "hardware_efficient_ansatz", "ising_model", "make_estimator",
     "memoize_loss", "method_names", "minimize_spsa", "multi_ga_minimize",
     "ncafqa", "noiseless_energy", "noisy_energy", "normalized_energy",
     "paper_benchmarks", "register_benchmark", "register_method",
-    "register_suite", "relative_improvement", "render_report", "run_vqe",
-    "simulate_statevector", "transform_hamiltonian", "transpile",
-    "xxz_model",
+    "register_strategy", "register_suite", "relative_improvement",
+    "render_report", "run_vqe", "simulate_statevector", "strategy_names",
+    "transform_hamiltonian", "transpile", "xxz_model",
 ]

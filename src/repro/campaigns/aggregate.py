@@ -20,7 +20,7 @@ from .store import STATUS_DONE, ResultStore
 
 #: Flat row columns, also the CSV header.
 ROW_FIELDS = (
-    "benchmark", "num_qubits", "setting", "seed", "method",
+    "benchmark", "num_qubits", "setting", "seed", "method", "strategy",
     "e0", "e_mixed", "loss", "noiseless", "clifford_model",
     "device_model", "hardware", "vqe_final", "engine_rounds",
     "engine_evaluations", "seconds", "task_id",
@@ -32,12 +32,17 @@ TIERS = ("noiseless", "clifford_model", "device_model", "hardware")
 
 @dataclass(frozen=True)
 class CellKey:
-    """One grid cell: everything but the method axis."""
+    """One grid cell: everything but the method axis.
+
+    The search strategy is part of the cell, so Eq. 14 joins always
+    compare methods that searched the same way.
+    """
 
     benchmark: str
     num_qubits: int
     setting: str
     seed: int
+    strategy: str = "multi_ga"
 
 
 @dataclass
@@ -82,7 +87,8 @@ class CampaignAggregate:
             out: dict[CellKey, dict[str, dict]] = {}
             for row in self.rows:
                 key = CellKey(row["benchmark"], row["num_qubits"],
-                              row["setting"], row["seed"])
+                              row["setting"], row["seed"],
+                              row.get("strategy", "multi_ga"))
                 out.setdefault(key, {})[row["method"]] = row
             self._cells = out
         return self._cells
@@ -107,6 +113,7 @@ class CampaignAggregate:
                 "num_qubits": key.num_qubits,
                 "setting": key.setting,
                 "seed": key.seed,
+                "strategy": key.strategy,
                 "baseline": baseline,
                 "improver": improver,
                 "tier": tier,
@@ -120,16 +127,18 @@ class CampaignAggregate:
     # ------------------------------------------------------------------
     def method_summary(self) -> list[dict]:
         """Mean three-tier energies per (benchmark, qubits, setting,
-        method), aggregated over seeds."""
+        method, strategy), aggregated over seeds."""
         groups: dict[tuple, list[dict]] = {}
         for row in self.rows:
             key = (row["benchmark"], row["num_qubits"], row["setting"],
-                   row["method"])
+                   row["method"], row.get("strategy", "multi_ga"))
             groups.setdefault(key, []).append(row)
         out = []
-        for (benchmark, num_qubits, setting, method), rows in groups.items():
+        for (benchmark, num_qubits, setting, method,
+             strategy), rows in groups.items():
             entry = {"benchmark": benchmark, "num_qubits": num_qubits,
                      "setting": setting, "method": method,
+                     "strategy": strategy,
                      "num_seeds": len(rows), "e0": rows[0]["e0"]}
             for tier in TIERS:
                 values = [r[tier] for r in rows if r.get(tier) is not None]
@@ -145,10 +154,12 @@ class CampaignAggregate:
         setting) -- the paper's suite aggregate."""
         groups: dict[tuple, list[float]] = {}
         for row in self.eta_rows(baseline, tier, improver):
-            key = (row["benchmark"], row["num_qubits"], row["setting"])
+            key = (row["benchmark"], row["num_qubits"], row["setting"],
+                   row["strategy"])
             groups.setdefault(key, []).append(row["eta"])
         out = []
-        for (benchmark, num_qubits, setting), etas in groups.items():
+        for (benchmark, num_qubits, setting,
+             strategy), etas in groups.items():
             # a seed where Clapton reaches E0 exactly has eta = inf (and
             # eta = 0 when only the baseline does); either saturates the
             # cell's geometric mean -- never drop such seeds
@@ -160,7 +171,8 @@ class CampaignAggregate:
                 geomean = geometric_mean(etas)
             out.append({
                 "benchmark": benchmark, "num_qubits": num_qubits,
-                "setting": setting, "baseline": baseline,
+                "setting": setting, "strategy": strategy,
+                "baseline": baseline,
                 "improver": improver, "tier": tier,
                 "num_seeds": len(etas),
                 "eta_geomean": geomean,
@@ -201,6 +213,10 @@ def _record_row(record: dict) -> dict:
         "setting": setting_label(task["setting"]),
         "seed": task["seed"],
         "method": method,
+        # the *grid-axis* strategy, so cells join methods that share a
+        # cell even when a method's own search reports another label
+        # ("none"/"best_of_k"); pre-axis records carry no strategy key
+        "strategy": task.get("strategy", "multi_ga"),
         "e0": result["e0"],
         "e_mixed": result["e_mixed"],
         "loss": run["loss"],

@@ -10,6 +10,7 @@ a failure appendix.  ``repro report <store>`` prints it.
 from __future__ import annotations
 
 from ..methods import method_names
+from ..search import strategy_names
 from .aggregate import TIERS, CampaignAggregate
 from .store import ResultStore
 
@@ -40,6 +41,7 @@ def render_report(store: ResultStore,
         f"{len(store.spec.qubit_sizes)} size(s) x "
         f"{len(store.spec.settings())} setting(s) x "
         f"{len(store.spec.methods)} method(s) x "
+        f"{len(store.spec.strategies)} strateg(y/ies) x "
         f"{len(store.spec.seeds)} seed(s)",
     ]
     if not aggregate.rows:
@@ -89,15 +91,19 @@ def _energy_section(aggregate: CampaignAggregate) -> list[str]:
         rows = []
         # registry order: built-ins first, then registration order
         order = {m: i for i, m in enumerate(method_names())}
+        s_order = {s: i for i, s in enumerate(strategy_names())}
         entries.sort(key=lambda e: (e["setting"],
                                     order.get(e["method"], len(order)),
-                                    e["method"]))
+                                    e["method"],
+                                    s_order.get(e["strategy"],
+                                                len(s_order)),
+                                    e["strategy"]))
         for entry in entries:
             rows.append([entry["setting"], entry["method"],
-                         str(entry["num_seeds"])]
+                         entry["strategy"], str(entry["num_seeds"])]
                         + [_fmt(entry[t]) for t in TIERS])
         lines += _markdown_table(
-            ["setting", "method", "seeds", *TIERS], rows)
+            ["setting", "method", "strategy", "seeds", *TIERS], rows)
         lines.append("")
     return lines
 
@@ -113,10 +119,12 @@ def _eta_section(aggregate: CampaignAggregate, baseline: str,
              f"{tier} tier",
              ""]
     rows = [[e["benchmark"], str(e["num_qubits"]), e["setting"],
-             str(e["num_seeds"]), _fmt(e["eta_geomean"], 2)]
+             e["strategy"], str(e["num_seeds"]),
+             _fmt(e["eta_geomean"], 2)]
             for e in summary]
     lines += _markdown_table(
-        ["benchmark", "qubits", "setting", "seeds", "eta (geomean)"], rows)
+        ["benchmark", "qubits", "setting", "strategy", "seeds",
+         "eta (geomean)"], rows)
     lines.append("")
     return lines
 

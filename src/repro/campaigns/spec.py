@@ -28,11 +28,13 @@ from ..hamiltonians.registry import expand_benchmarks
 from ..methods import DEFAULT_METHODS, resolve_methods
 from ..optim.engine import EngineConfig
 from ..optim.genetic import GAConfig
+from ..search import DEFAULT_STRATEGY, get_strategy
 
 #: When True (see :func:`lenient_methods`), specs naming unregistered
-#: methods construct instead of raising -- required so ``repro status`` /
-#: ``repro report`` can open a store whose campaign used a method that was
-#: registered in the producing process but not in this one.
+#: methods or strategies construct instead of raising -- required so
+#: ``repro status`` / ``repro report`` can open a store whose campaign
+#: used a method/strategy that was registered in the producing process
+#: but not in this one.
 _LENIENT_METHODS = False
 
 
@@ -148,6 +150,8 @@ class TaskSpec:
         num_qubits: Physics-model width (chemistry and parameterized
             benchmarks ignore it).
         method: Any registered method name (``repro methods``).
+        strategy: Any registered search-strategy name
+            (``repro strategies``); the default is the Figure-4 engine.
         seed: Cell seed; folded into the engine seed and the VQE seed by
             :meth:`CampaignSpec.tasks` (explicitly constructed tasks may
             decouple them via ``engine["seed"]``).
@@ -172,6 +176,7 @@ class TaskSpec:
     seed: int
     setting: dict
     engine: dict
+    strategy: str = DEFAULT_STRATEGY
     vqe_iterations: int = 0
     vqe_shots: int | None = None
     entanglement: str = "circular"
@@ -192,12 +197,24 @@ class TaskSpec:
 
     @property
     def label(self) -> str:
+        # the strategy segment appears only off the default, so labels
+        # (and everything keyed on them) are unchanged for GA campaigns
+        strategy = ("" if self.strategy == DEFAULT_STRATEGY
+                    else f"/{self.strategy}")
         return (f"{self.benchmark}/{self.num_qubits}q/"
-                f"{setting_label(self.setting)}/{self.method}/s{self.seed}")
+                f"{setting_label(self.setting)}/{self.method}"
+                f"{strategy}/s{self.seed}")
 
     # -- JSON ----------------------------------------------------------
     def to_dict(self) -> dict:
-        return asdict(self)
+        out = asdict(self)
+        if out["strategy"] == DEFAULT_STRATEGY:
+            # default-strategy payloads keep the pre-axis shape, so
+            # their content-hash task ids (and hence resume/status
+            # against stores recorded before the axis existed) are
+            # byte-identical; from_dict restores the default
+            del out["strategy"]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TaskSpec":
@@ -251,6 +268,7 @@ class TaskSpec:
             vqe_iterations=self.vqe_iterations,
             vqe_shots=self.vqe_shots,
             seed=self.seed,
+            strategy=self.strategy,
         )
         return result.to_dict()
 
@@ -264,7 +282,8 @@ class CampaignSpec:
 
     The grid axes expand in declared order (benchmarks, then qubit sizes,
     then settings -- backends before noise scales -- then methods, then
-    seeds), so ``tasks()`` is a pure function of the spec.
+    search strategies, then seeds), so ``tasks()`` is a pure function of
+    the spec.
 
     Attributes:
         name: Campaign label (store headers, reports).
@@ -279,6 +298,10 @@ class CampaignSpec:
             :data:`DEFAULT_BASE_NOISE`.
         methods: Registered method names (``repro methods``); defaults to
             the built-in trio.
+        strategies: Registered search-strategy names
+            (``repro strategies``); defaults to the Figure-4
+            ``multi_ga`` engine alone, so pre-axis specs expand to the
+            same grid.
         seeds: Cell seeds; each becomes the engine *and* VQE seed.
         engine_preset / engine_overrides: Base :class:`EngineConfig`
             preset name plus field overrides (e.g. ``{"num_instances":
@@ -294,6 +317,8 @@ class CampaignSpec:
     noise_scales: list[float] = field(default_factory=list)
     base_noise: dict = field(default_factory=dict)
     methods: list[str] = field(default_factory=lambda: list(DEFAULT_METHODS))
+    strategies: list[str] = field(
+        default_factory=lambda: [DEFAULT_STRATEGY])
     seeds: list[int] = field(default_factory=lambda: [0])
     engine_preset: str = "fast"
     engine_overrides: dict = field(default_factory=dict)
@@ -305,6 +330,14 @@ class CampaignSpec:
         if not _LENIENT_METHODS:
             # same did-you-mean ValueError contract as Experiment.run
             resolve_methods(self.methods)
+            if not self.strategies:
+                raise ValueError("strategies must name at least one "
+                                 "registered search strategy")
+            for name in self.strategies:
+                try:
+                    get_strategy(name)
+                except KeyError as exc:  # did-you-mean, at declaration
+                    raise ValueError(str(exc.args[0])) from None
             try:
                 self.expanded_benchmarks()
             except KeyError as exc:  # unknown suite: fail at declaration
@@ -313,7 +346,7 @@ class CampaignSpec:
                 ("benchmarks", self.expanded_benchmarks(lenient=True)),
                 *((a, getattr(self, a)) for a in
                   ("qubit_sizes", "backends", "noise_scales", "methods",
-                   "seeds"))):
+                   "strategies", "seeds"))):
             if len(set(values)) != len(values):
                 # duplicates would expand to colliding task ids, leaving
                 # phantom forever-pending tasks in every status count
@@ -386,19 +419,21 @@ class CampaignSpec:
             for num_qubits in self.qubit_sizes:
                 for setting in settings:
                     for method in self.methods:
-                        for seed in self.seeds:
-                            out.append(TaskSpec(
-                                benchmark=benchmark,
-                                num_qubits=num_qubits,
-                                method=method,
-                                seed=seed,
-                                setting=setting,
-                                engine=engine_to_dict(
-                                    self.engine_config(seed)),
-                                vqe_iterations=self.vqe_iterations,
-                                vqe_shots=self.vqe_shots,
-                                entanglement=self.entanglement,
-                            ))
+                        for strategy in self.strategies:
+                            for seed in self.seeds:
+                                out.append(TaskSpec(
+                                    benchmark=benchmark,
+                                    num_qubits=num_qubits,
+                                    method=method,
+                                    strategy=strategy,
+                                    seed=seed,
+                                    setting=setting,
+                                    engine=engine_to_dict(
+                                        self.engine_config(seed)),
+                                    vqe_iterations=self.vqe_iterations,
+                                    vqe_shots=self.vqe_shots,
+                                    entanglement=self.entanglement,
+                                ))
         return out
 
     @property
@@ -408,7 +443,7 @@ class CampaignSpec:
         return (len(self.expanded_benchmarks(lenient=True))
                 * len(self.qubit_sizes)
                 * len(self.settings()) * len(self.methods)
-                * len(self.seeds))
+                * len(self.strategies) * len(self.seeds))
 
     # -- JSON ----------------------------------------------------------
     def to_dict(self) -> dict:

@@ -6,12 +6,18 @@ the campaign subsystem:
     repro list                      # benchmark suite (fixed names)
     repro benchmarks --kind physics # registered benchmarks + families
     repro methods                   # registered initialization methods
+    repro strategies                # registered search strategies
     repro ground-energy xxz_J0.50   # exact E0
     repro run ising:n=6,J=0.5 --backend nairobi --methods cafqa,clapton
+    repro run ising:n=6 --strategy annealing --engine-population 20
     repro molecule LiH 1.5          # chemistry pipeline summary
     repro sweep grid.json --jobs 4  # sharded campaign (resume: --resume)
     repro status grid.campaign      # done/failed/pending counts
     repro report grid.campaign      # markdown figure tables (+ --csv)
+
+The Figure-4 engine working point (s / m / k / |S| / retry rounds) is
+adjustable from the command line via the ``--engine-*`` flags shared by
+``run`` and ``sweep``.
 """
 
 from __future__ import annotations
@@ -33,6 +39,14 @@ def _cmd_methods(args) -> int:
 
     for name, method in available_methods().items():
         print(f"{name:<18} {method.description}")
+    return 0
+
+
+def _cmd_strategies(args) -> int:
+    from .search import available_strategies
+
+    for name, strategy in available_strategies().items():
+        print(f"{name:<18} {strategy.description}")
     return 0
 
 
@@ -106,6 +120,38 @@ def _resolve_method_names(text: str) -> list[str] | None:
     return names
 
 
+#: ``--engine-*`` flag destinations -> EngineConfig field names (the
+#: Figure-4 working point: s, m, k, |S|, retry rounds).
+_ENGINE_FLAGS = {
+    "engine_instances": "num_instances",
+    "engine_generations": "generations_per_round",
+    "engine_top_k": "top_k",
+    "engine_population": "population_size",
+    "engine_retry_rounds": "retry_rounds",
+}
+
+
+def _engine_overrides(args) -> dict:
+    """EngineConfig overrides collected from the ``--engine-*`` flags."""
+    return {field: getattr(args, dest)
+            for dest, field in _ENGINE_FLAGS.items()
+            if getattr(args, dest, None) is not None}
+
+
+def _resolve_strategy_name(name: str) -> str | None:
+    """Validate one strategy name; ``None`` (after a stderr message with
+    a did-you-mean hint) when unknown."""
+    from .search import get_strategy
+
+    try:
+        get_strategy(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        print("see `repro strategies`", file=sys.stderr)
+        return None
+    return name
+
+
 def _cmd_run(args) -> int:
     from dataclasses import replace
 
@@ -115,6 +161,9 @@ def _cmd_run(args) -> int:
 
     methods = _resolve_method_names(args.methods or args.method)
     if methods is None:
+        return 2
+    strategy = _resolve_strategy_name(args.strategy)
+    if strategy is None:
         return 2
     if args.backend not in ALL_BACKENDS:
         print(f"unknown backend {args.backend!r}", file=sys.stderr)
@@ -133,17 +182,20 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     print(f"{args.benchmark} ({hamiltonian.num_qubits}q) on "
-          f"{backend.name}, methods={','.join(methods)}, seed={args.seed}")
+          f"{backend.name}, methods={','.join(methods)}, "
+          f"strategy={strategy}, seed={args.seed}")
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     experiment = Experiment(hamiltonian, backend=backend,
                             name=args.benchmark)
+    config = replace(bench_engine(), seed=args.seed,
+                     **_engine_overrides(args))
     try:
         result = experiment.run(methods=tuple(methods),
-                                config=replace(bench_engine(),
-                                               seed=args.seed),
+                                config=config,
                                 vqe_iterations=args.vqe_iterations,
                                 seed=args.seed,
-                                executor=executor)
+                                executor=executor,
+                                strategy=strategy)
     finally:
         if executor is not None:
             executor.close()
@@ -160,7 +212,7 @@ def _cmd_run(args) -> int:
             print(f"VQE final       = {run.vqe.final_energy:.6f} "
                   f"({run.vqe.num_evaluations} evaluations: "
                   f"{run.vqe.evaluations_by_tier})")
-        print(f"engine: {run.engine_rounds} rounds, "
+        print(f"search: {run.strategy}, {run.engine_rounds} rounds, "
               f"{run.engine_evaluations} evaluations, "
               f"{run.engine_seconds:.1f}s")
     if args.save:
@@ -214,6 +266,7 @@ def _open_store(path):
 
 
 def _cmd_sweep(args) -> int:
+    from dataclasses import replace
     from pathlib import Path
 
     from .campaigns import CampaignRunner, CampaignSpec, ResultStore
@@ -225,6 +278,28 @@ def _cmd_sweep(args) -> int:
         print(f"cannot load campaign spec {args.spec!r}: {exc}",
               file=sys.stderr)
         return 2
+    changes = {}
+    if args.strategies:
+        names = list(dict.fromkeys(  # dedupe, preserving order
+            s.strip() for s in args.strategies.split(",") if s.strip()))
+        if not names:
+            print("no strategies given; see `repro strategies`",
+                  file=sys.stderr)
+            return 2
+        for name in names:
+            if _resolve_strategy_name(name) is None:
+                return 2
+        changes["strategies"] = names
+    overrides = _engine_overrides(args)
+    if overrides:
+        changes["engine_overrides"] = {**spec.engine_overrides,
+                                       **overrides}
+    if changes:
+        try:  # replace re-runs the spec's declaration-time validation
+            spec = replace(spec, **changes)
+        except ValueError as exc:
+            print(f"bad sweep overrides: {exc}", file=sys.stderr)
+            return 2
     # fail on a typo'd benchmark now, not as N failed task records
     # (resolution is lazy: nothing is built here, and registry names do
     # not depend on the qubit-size axis)
@@ -258,9 +333,14 @@ def _cmd_sweep(args) -> int:
             return 2
         if store.spec.to_dict() != spec.to_dict():
             print(f"spec {args.spec} no longer matches the spec recorded "
-                  f"in {store_path}; resume against the original spec or "
-                  f"start a fresh --store", file=sys.stderr)
+                  f"in {store_path}; resume against the original spec "
+                  f"(including any sweep overrides) or start a fresh "
+                  f"--store", file=sys.stderr)
             return 2
+        skipping = len({t.task_id for t in spec.tasks()}
+                       & store.completed_ids())
+        print(f"resume: skipping {skipping} completed task id(s) "
+              f"already in {store_path}")
     total = spec.num_tasks
     done = {"n": len(store.completed_ids())}
     print(f"campaign {spec.name!r}: {total} tasks, "
@@ -290,6 +370,33 @@ def _cmd_sweep(args) -> int:
     return 0 if counts["failed"] == 0 else 1
 
 
+def _print_strategy_progress(store) -> None:
+    """Per-strategy done/failed/pending lines for multi-strategy sweeps."""
+    from collections import Counter
+
+    from .campaigns.store import STATUS_DONE, STATUS_FAILED
+
+    try:
+        totals = Counter(t.strategy for t in store.spec.tasks())
+    except (KeyError, ValueError):
+        # unregistered suite/benchmark in this process: per-strategy
+        # totals are unknowable; fall back to recorded tasks only
+        totals = Counter()
+    done: Counter = Counter()
+    failed: Counter = Counter()
+    for record in store.records():
+        strategy = (record.get("task") or {}).get("strategy", "multi_ga")
+        if record["status"] == STATUS_DONE:
+            done[strategy] += 1
+        elif record["status"] == STATUS_FAILED:
+            failed[strategy] += 1
+    for strategy in store.spec.strategies:
+        total = totals.get(strategy, done[strategy] + failed[strategy])
+        pending = max(0, total - done[strategy] - failed[strategy])
+        print(f"          {strategy:<14} {done[strategy]} done, "
+              f"{failed[strategy]} failed, {pending} pending")
+
+
 def _cmd_status(args) -> int:
     store = _open_store(args.store)
     if store is None:
@@ -299,6 +406,8 @@ def _cmd_status(args) -> int:
     print(f"store     {store.path}")
     print(f"tasks     {counts['total']} total: {counts['done']} done, "
           f"{counts['failed']} failed, {counts['pending']} pending")
+    if len(store.spec.strategies) > 1:
+        _print_strategy_progress(store)
     unresolved = store.spec.unresolved_suites()
     if unresolved:
         print(f"warning   {unresolved} not registered in this process; "
@@ -336,6 +445,26 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _add_engine_flags(parser) -> None:
+    """The Figure-4 working-point flags shared by ``run`` and ``sweep``.
+
+    Unset flags keep the engine preset's value (``run``) or the spec's
+    ``engine_overrides`` (``sweep``).
+    """
+    group = parser.add_argument_group(
+        "engine working point (Figure 4: s / m / k / |S| / retries)")
+    group.add_argument("--engine-instances", type=int, metavar="S",
+                       help="GA instances per round (s)")
+    group.add_argument("--engine-generations", type=int, metavar="M",
+                       help="generations per round (m)")
+    group.add_argument("--engine-top-k", type=int, metavar="K",
+                       help="elites pooled per instance (k)")
+    group.add_argument("--engine-population", type=int, metavar="P",
+                       help="population size per instance (|S|)")
+    group.add_argument("--engine-retry-rounds", type=int, metavar="R",
+                       help="non-improving rounds before convergence")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Clapton reproduction command line")
@@ -348,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_methods = sub.add_parser(
         "methods", help="list registered initialization methods")
     p_methods.set_defaults(fn=_cmd_methods)
+
+    p_strategies = sub.add_parser(
+        "strategies", help="list registered search strategies")
+    p_strategies.set_defaults(fn=_cmd_strategies)
 
     p_bench = sub.add_parser(
         "benchmarks",
@@ -370,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--methods",
                        help="comma-separated registered methods; "
                             "overrides --method")
+    p_run.add_argument("--strategy", default="multi_ga",
+                       help="search strategy every method searches with "
+                            "(see `repro strategies`)")
     p_run.add_argument("--qubits", type=int, default=6)
     p_run.add_argument("--vqe-iterations", type=int, default=0,
                        help="SPSA iterations of the online VQE phase")
@@ -378,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0,
                        help="engine + VQE seed (same seed, same numbers)")
     p_run.add_argument("--save", help="write the ExperimentResult JSON here")
+    _add_engine_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -390,6 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--resume", action="store_true",
                          help="continue an interrupted store, skipping "
                               "completed task ids")
+    p_sweep.add_argument("--strategies", "--strategy", dest="strategies",
+                         help="comma-separated search strategies "
+                              "overriding the spec's strategy axis "
+                              "(see `repro strategies`)")
+    _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_status = sub.add_parser("status", help="campaign store progress")

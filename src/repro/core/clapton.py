@@ -15,8 +15,12 @@ identical seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # annotation only; repro.search imports stay one-way
+    from ..search.base import SearchResult
 
 from ..circuits.circuit import Circuit
 from ..noise.clifford_model import CliffordNoiseModel
@@ -46,6 +50,10 @@ class InitializationResult:
         init_circuit: Optional explicit initial-state circuit (methods
             whose initial state is not the bound ansatz); ``None`` means
             ``A'(initial_theta)``.
+        search: The :class:`~repro.search.SearchResult` that produced the
+            genome (strategy name + per-round trace); ``None`` for
+            methods whose overridden search returns bare engine
+            bookkeeping.
     """
 
     method: str
@@ -56,6 +64,7 @@ class InitializationResult:
     vqe_hamiltonian: PauliSum
     initial_theta: np.ndarray
     init_circuit: Circuit | None = None
+    search: "SearchResult | None" = None
 
     # ------------------------------------------------------------------
     # The initial point, as evaluated on the device register

@@ -57,11 +57,16 @@ class MethodRun:
         genome: Best engine genome.
         loss: Best engine loss (the method's own cost, not an energy).
         evaluation: Three-tier initial-point energies.
-        engine_rounds / engine_evaluations / engine_seconds: Figure-4
-            engine bookkeeping.
+        engine_rounds / engine_evaluations / engine_seconds: search
+            bookkeeping (the Figure-4 engine's, or the chosen strategy's).
         seconds: Wall time of the whole method run (search + evaluation +
             optional VQE).
         vqe: SPSA trace when ``vqe_iterations > 0``.
+        strategy: Search-strategy label that produced the genome
+            (``repro strategies``; ``"none"``/``"best_of_k"`` for methods
+            with their own search shape).
+        search_trace: Per-round :class:`~repro.search.SearchTrace`
+            payloads, in execution order.
     """
 
     method: str
@@ -73,6 +78,8 @@ class MethodRun:
     engine_seconds: float
     seconds: float
     vqe: VQETrace | None = None
+    strategy: str = "multi_ga"
+    search_trace: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         ev = self.evaluation
@@ -90,6 +97,8 @@ class MethodRun:
             "engine_evaluations": self.engine_evaluations,
             "engine_seconds": self.engine_seconds,
             "seconds": self.seconds,
+            "strategy": self.strategy,
+            "search_trace": [dict(t) for t in self.search_trace],
             "vqe": None,
         }
         if self.vqe is not None:
@@ -134,6 +143,9 @@ class MethodRun:
             engine_seconds=data["engine_seconds"],
             seconds=data["seconds"],
             vqe=vqe,
+            # pre-strategy-axis payloads lack these keys
+            strategy=data.get("strategy", "multi_ga"),
+            search_trace=list(data.get("search_trace") or []),
         )
 
 
@@ -290,7 +302,8 @@ class Experiment:
     def run(self, methods=None, *, config: EngineConfig | None = None,
             vqe_iterations: int = 0, vqe_shots: int | None = None,
             seed: int = 0, executor: Executor | None = None,
-            evaluate_tiers: bool = True) -> ExperimentResult:
+            evaluate_tiers: bool = True, strategy=None,
+            budget=None) -> ExperimentResult:
         """Run the requested methods and evaluate all tiers.
 
         Args:
@@ -309,14 +322,23 @@ class Experiment:
                 noise tiers; pass False when only the engine output or
                 the VQE traces matter (``MethodRun.evaluation`` is then
                 ``None`` and ``eta_initial`` unavailable).
+            strategy: Registered search-strategy name or
+                :class:`~repro.search.SearchStrategy` instance every
+                method searches with (default ``multi_ga``; ``repro
+                strategies`` lists what is registered).
+            budget: Optional :class:`~repro.search.SearchBudget` capping
+                each method's search.
         """
         from ..methods import resolve_methods
+        from ..search import resolve_strategy
 
         if config is None:
             from .config import bench_engine
 
             config = bench_engine()
         resolved = resolve_methods(methods)  # ValueError on unknown names
+        if strategy is not None:
+            strategy = resolve_strategy(strategy)  # KeyError did-you-mean
         start = time.perf_counter()
         e0 = (self.e0 if self.e0 is not None
               else ground_state_energy(self.hamiltonian))
@@ -325,7 +347,8 @@ class Experiment:
         for method in resolved:
             method_start = time.perf_counter()
             result = method.run(self.problem, config=config,
-                                executor=executor)
+                                executor=executor, strategy=strategy,
+                                budget=budget)
             results[method.name] = result
             evaluation = (evaluate_initial_point(result)
                           if evaluate_tiers else None)
@@ -333,6 +356,7 @@ class Experiment:
             if vqe_iterations > 0:
                 trace = run_vqe(result, maxiter=vqe_iterations,
                                 shots=vqe_shots, seed=seed)
+            search = result.search
             runs[method.name] = MethodRun(
                 method=method.name,
                 genome=result.genome,
@@ -343,6 +367,10 @@ class Experiment:
                 engine_seconds=result.engine.total_seconds,
                 seconds=time.perf_counter() - method_start,
                 vqe=trace,
+                strategy=(search.strategy if search is not None
+                          else "multi_ga"),
+                search_trace=(search.trace_dicts() if search is not None
+                              else []),
             )
         return ExperimentResult(
             benchmark=self.name,

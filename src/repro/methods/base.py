@@ -13,16 +13,19 @@ small, stable surface:
   and (optionally) an explicit initial-state circuit.
 
 The default :meth:`InitializationMethod.run` wires those pieces through
-:func:`~repro.optim.engine.multi_ga_minimize` exactly like the historical
-drivers did, so a method defined purely by its loss and decode rules is
-automatically runnable through :class:`~repro.experiments.Experiment`,
-campaigns, and the CLI.  Methods with a different search shape (e.g.
-best-of-K random sampling) override :meth:`search` instead.
+the :mod:`repro.search` strategy registry -- ``multi_ga`` (the Figure-4
+engine, bit-identical to the historical drivers) unless ``strategy=``
+names another registered :class:`~repro.search.SearchStrategy` -- so a
+method defined purely by its loss and decode rules is automatically
+runnable through :class:`~repro.experiments.Experiment`, campaigns, and
+the CLI, under any search strategy.  Methods with a different search
+shape (e.g. best-of-K random sampling) override :meth:`search` instead.
 """
 
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -31,8 +34,10 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..core.clapton import InitializationResult
 from ..core.problem import VQEProblem
-from ..optim.engine import EngineConfig, EngineResult, multi_ga_minimize
+from ..optim.engine import EngineConfig
 from ..paulis.pauli_sum import PauliSum
+from ..search.base import SearchResult
+from ..search.registry import resolve_strategy
 
 
 @dataclass(frozen=True)
@@ -93,22 +98,59 @@ class InitializationMethod(abc.ABC):
     # ------------------------------------------------------------------
     def search(self, problem: VQEProblem,
                config: EngineConfig | None = None,
-               executor=None) -> EngineResult:
+               executor=None, strategy=None, budget=None) -> SearchResult:
         """Minimize :meth:`make_loss` over the genome space.
 
-        The default runs the Figure-4 multi-GA engine -- the paper builds
-        every method on "an optimization engine similar to the one shown
-        in Figure 4" so comparisons isolate the cost function.
+        The default resolves ``strategy`` through the
+        :mod:`repro.search` registry and falls back to ``multi_ga`` --
+        the paper builds every method on "an optimization engine similar
+        to the one shown in Figure 4", so the default comparisons isolate
+        the cost function, while ``strategy=`` turns the optimizer itself
+        into an experimental axis.  Methods with their own search shape
+        (e.g. best-of-K random sampling) override this method and ignore
+        the strategy axis.
         """
-        return multi_ga_minimize(self.make_loss(problem),
+        resolved = resolve_strategy(strategy)
+        return resolved.minimize(self.make_loss(problem),
                                  self.num_parameters(problem),
                                  num_values=self.num_values,
-                                 config=config, executor=executor)
+                                 budget=budget, config=config,
+                                 executor=executor)
 
     def run(self, problem: VQEProblem, config: EngineConfig | None = None,
-            executor=None) -> InitializationResult:
-        """Search, decode the best genome, and bundle the result."""
-        engine = self.search(problem, config=config, executor=executor)
+            executor=None, strategy=None,
+            budget=None) -> InitializationResult:
+        """Search, decode the best genome, and bundle the result.
+
+        ``strategy`` names any registered :class:`~repro.search.
+        SearchStrategy` (default ``multi_ga``); ``budget`` optionally
+        caps the search (see :class:`~repro.search.SearchBudget`).
+        """
+        params = inspect.signature(self.search).parameters
+        takes_axis = ("strategy" in params
+                      or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                             for p in params.values()))
+        if takes_axis:
+            outcome = self.search(problem, config=config,
+                                  executor=executor, strategy=strategy,
+                                  budget=budget)
+        elif ((strategy is None
+               or resolve_strategy(strategy).name == "multi_ga")
+              and budget is None):
+            # pre-strategy-axis override (old three-argument signature):
+            # the default multi_ga request is "no strategy asked for" --
+            # the CLI and campaign tasks always pass it explicitly
+            outcome = self.search(problem, config=config,
+                                  executor=executor)
+        else:
+            raise TypeError(
+                f"{type(self).__name__}.search does not accept the "
+                f"strategy/budget axis; add `strategy=None, budget=None` "
+                f"to its signature (or **kwargs) to opt in")
+        if isinstance(outcome, SearchResult):
+            search, engine = outcome, outcome.as_engine_result()
+        else:  # legacy override returning a bare EngineResult
+            search, engine = None, outcome
         decoded = self.decode(problem, engine.best_genome)
         return InitializationResult(
             method=self.name,
@@ -119,6 +161,7 @@ class InitializationMethod(abc.ABC):
             vqe_hamiltonian=decoded.vqe_hamiltonian,
             initial_theta=decoded.initial_theta,
             init_circuit=decoded.init_circuit,
+            search=search,
         )
 
     def __repr__(self) -> str:  # registry listings, error messages

@@ -21,7 +21,8 @@ import numpy as np
 from ..circuits.ansatz import cafqa_angles
 from ..core.loss import CafqaLoss
 from ..core.problem import VQEProblem
-from ..optim.engine import EngineConfig, EngineResult, RoundRecord
+from ..optim.engine import EngineConfig
+from ..search.base import SearchResult, SearchTrace
 from .base import DecodedPoint, InitializationMethod
 from .registry import register_method
 
@@ -56,12 +57,13 @@ class VanillaMethod(_AnsatzAngleMethod):
 
     def search(self, problem: VQEProblem,
                config: EngineConfig | None = None,
-               executor=None) -> EngineResult:
+               executor=None, strategy=None, budget=None) -> SearchResult:
+        # no search at all: the strategy/budget axes do not apply
         start = time.perf_counter()
         genome = np.zeros(self.num_parameters(problem), dtype=np.int64)
         loss = float(self.make_loss(problem)(genome))
-        return EngineResult(best_genome=genome, best_loss=loss, rounds=[],
-                            num_evaluations=1,
+        return SearchResult(strategy="none", best_genome=genome,
+                            best_loss=loss, trace=[], num_evaluations=1,
                             total_seconds=time.perf_counter() - start)
 
 
@@ -84,7 +86,10 @@ class RandomCliffordMethod(_AnsatzAngleMethod):
 
     def search(self, problem: VQEProblem,
                config: EngineConfig | None = None,
-               executor=None) -> EngineResult:
+               executor=None, strategy=None, budget=None) -> SearchResult:
+        # own search shape (best-of-K sampling); the strategy axis does
+        # not apply -- `restart_climb` is this search generalized to
+        # climb from each sample
         cfg = config or EngineConfig()
         k = self.num_samples or max(1, cfg.num_instances
                                     * cfg.population_size)
@@ -105,8 +110,9 @@ class RandomCliffordMethod(_AnsatzAngleMethod):
                 executor.map(_evaluate_losses, jobs))
         best = int(np.argmin(losses))
         elapsed = time.perf_counter() - start
-        record = RoundRecord(best_loss=float(losses[best]),
-                             duration_seconds=elapsed, num_evaluations=k)
-        return EngineResult(best_genome=genomes[best].copy(),
-                            best_loss=float(losses[best]), rounds=[record],
+        trace = [SearchTrace(round_index=0, best_loss=float(losses[best]),
+                             num_evaluations=k, duration_seconds=elapsed)]
+        return SearchResult(strategy="best_of_k",
+                            best_genome=genomes[best].copy(),
+                            best_loss=float(losses[best]), trace=trace,
                             num_evaluations=k, total_seconds=elapsed)
