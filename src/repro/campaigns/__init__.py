@@ -14,11 +14,14 @@ tables (:class:`CampaignAggregate`, :func:`render_report`).
     CampaignRunner(spec, store, executor=ProcessExecutor(4)).run()
     print(render_report(ResultStore.open("fig4.campaign")))
 
-CLI: ``repro sweep spec.json --jobs 4 [--resume]``, ``repro status``,
-``repro report``.
+CLI: ``repro sweep spec.json --jobs 4 [--resume] [--max-attempts N]``,
+``repro status``, ``repro report`` -- and, for long-lived multi-worker
+campaigns, the service triplet ``repro serve`` / ``repro worker`` /
+``repro submit`` (see :mod:`repro.campaigns.service`).
 """
 
 from .aggregate import CampaignAggregate, CellKey
+from .retry import NO_RETRY, RetryPolicy
 from .runner import CampaignProgress, CampaignRunner, execute_task
 from .report import render_report
 from .spec import (
@@ -29,11 +32,12 @@ from .spec import (
     engine_to_dict,
     setting_label,
 )
-from .store import STATUS_DONE, STATUS_FAILED, ResultStore
+from .store import STATUS_DONE, STATUS_FAILED, ResultStore, StoreLockedError
 
 __all__ = [
     "CampaignAggregate", "CampaignProgress", "CampaignRunner",
-    "CampaignSpec", "CellKey", "DEFAULT_BASE_NOISE", "ResultStore",
-    "STATUS_DONE", "STATUS_FAILED", "TaskSpec", "engine_from_dict",
-    "engine_to_dict", "execute_task", "render_report", "setting_label",
+    "CampaignSpec", "CellKey", "DEFAULT_BASE_NOISE", "NO_RETRY",
+    "ResultStore", "RetryPolicy", "STATUS_DONE", "STATUS_FAILED",
+    "StoreLockedError", "TaskSpec", "engine_from_dict", "engine_to_dict",
+    "execute_task", "render_report", "setting_label",
 ]

@@ -1,0 +1,56 @@
+"""Retry policy shared by the in-process runner and the campaign service.
+
+One small dataclass answers the two questions every retry path asks:
+*may this task run again?* (:meth:`RetryPolicy.exhausted`) and *how long
+must it wait first?* (:meth:`RetryPolicy.delay`, exponential backoff with
+a cap).  The policy is pure arithmetic -- no clocks, no sleeping -- so the
+:class:`~repro.campaigns.runner.CampaignRunner` and the service scheduler
+apply identical schedules and the ``backoff_seconds`` they stamp into
+store records is deterministic (a retried campaign replays to the same
+records wherever it ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed tasks are re-attempted.
+
+    Attributes:
+        max_attempts: Total executions a task may get (1 = no retry,
+            the historical behavior).
+        backoff_base: Delay before the second attempt, in seconds.
+        backoff_factor: Multiplier applied per further attempt.
+        backoff_max: Ceiling on any single delay.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if min(self.backoff_base, self.backoff_max) < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before 1-based ``attempt`` (0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (attempt - 2))
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` executions have been used up."""
+        return attempts >= self.max_attempts
+
+
+#: The historical runner behavior: one execution, no backoff.
+NO_RETRY = RetryPolicy()

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..execution.executor import Executor, SerialExecutor
+from .retry import NO_RETRY, RetryPolicy
 from .spec import CampaignSpec, TaskSpec
 from .store import STATUS_DONE, STATUS_FAILED, ResultStore
 
@@ -82,18 +83,25 @@ def execute_task(task_payload: dict) -> dict:
 
 @dataclass
 class CampaignProgress:
-    """Outcome of one :meth:`CampaignRunner.run` call."""
+    """Outcome of one :meth:`CampaignRunner.run` call.
+
+    ``ran`` counts task *executions* (a cell retried under a
+    :class:`~repro.campaigns.retry.RetryPolicy` counts once per attempt);
+    ``failed``/``failed_ids`` reflect only cells whose *final* attempt
+    failed, and ``retried`` counts the extra attempts.
+    """
 
     total: int
     skipped: int
     ran: int = 0
     failed: int = 0
+    retried: int = 0
     seconds: float = 0.0
     failed_ids: list[str] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
-        return self.skipped + self.ran - self.failed
+        return self.skipped + self.ran - self.failed - self.retried
 
 
 class CampaignRunner:
@@ -139,8 +147,8 @@ class CampaignRunner:
 
     def run(self, *, resume: bool = True, retry_failed: bool = True,
             max_tasks: int | None = None,
-            on_record: Callable[[dict], None] | None = None
-            ) -> CampaignProgress:
+            on_record: Callable[[dict], None] | None = None,
+            retry: RetryPolicy | None = None) -> CampaignProgress:
         """Execute (the rest of) the campaign.
 
         Args:
@@ -152,7 +160,15 @@ class CampaignRunner:
                 simulated interruptions).
             on_record: Callback fired after each record is checkpointed
                 (CLI progress lines).
+            retry: In-run retry policy for failed cells (CLI ``sweep
+                --max-attempts``).  The default keeps the historical
+                behavior: one execution per cell per invocation.  Every
+                record is stamped with its 1-based ``attempt`` (counting
+                the store's prior records for that id, so cross-invocation
+                retries keep counting) and the deterministic
+                ``backoff_seconds`` the policy imposed before it.
         """
+        retry = retry or NO_RETRY
         tasks = self.tasks()
         if resume:
             skip = self.store.completed_ids()
@@ -167,17 +183,31 @@ class CampaignRunner:
                                     skipped=len(tasks) - len(pending))
         executor = self.executor or SerialExecutor()
         start = time.perf_counter()
-        for wave in _waves(pending, _wave_size(executor)):
-            records = executor.map(execute_task,
-                                   [t.to_dict() for t in wave])
-            for record in records:
-                self.store.append(record)
-                progress.ran += 1
-                if record["status"] == STATUS_FAILED:
-                    progress.failed += 1
-                    progress.failed_ids.append(record["task_id"])
-                if on_record is not None:
-                    on_record(record)
+        queue, round_number = pending, 1
+        while queue:
+            delay = retry.delay(round_number)
+            if delay > 0:
+                time.sleep(delay)
+            failures: list[TaskSpec] = []
+            for wave in _waves(queue, _wave_size(executor)):
+                records = executor.map(execute_task,
+                                       [t.to_dict() for t in wave])
+                for task, record in zip(wave, records):
+                    record["attempt"] = \
+                        self.store.attempts(record["task_id"]) + 1
+                    record["backoff_seconds"] = delay
+                    self.store.append(record)
+                    progress.ran += 1
+                    if record["status"] == STATUS_FAILED:
+                        failures.append(task)
+                    if on_record is not None:
+                        on_record(record)
+            if not failures or retry.exhausted(round_number):
+                progress.failed = len(failures)
+                progress.failed_ids = [t.task_id for t in failures]
+                break
+            progress.retried += len(failures)
+            queue, round_number = failures, round_number + 1
         progress.seconds = time.perf_counter() - start
         return progress
 

@@ -1,0 +1,204 @@
+"""Lease table: crash-tolerant task ownership beside the result store.
+
+A lease says "worker W owns task T until deadline D".  The table is an
+in-memory map persisted as an append-only event log (``leases.jsonl`` in
+the store directory, same discipline as ``results.jsonl``): ``lease``,
+``renew``, ``release`` and ``expire`` events replay on open, so a
+restarted scheduler recovers exactly which tasks were in flight -- and
+their already-past deadlines make them immediately stealable.
+
+The table is a passive data structure: it never sleeps, spawns threads,
+or reads a wall clock behind the caller's back (``clock`` is injectable
+for tests).  The scheduler decides *when* to call :meth:`expired` /
+:meth:`expire`; workers drive :meth:`renew` through heartbeats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+LEASES_FILE = "leases.jsonl"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant: ``worker_id`` owns ``task_id`` until ``deadline``.
+
+    ``attempt`` counts grants of this task over the table's lifetime
+    (scheduling attempts, which include crash re-grants -- distinct from
+    the *record* attempt a store stamps, which only counts executions
+    that produced a record).
+    """
+
+    task_id: str
+    worker_id: str
+    deadline: float
+    attempt: int = 1
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+class LeaseTable:
+    """Active leases with append-only persistence.
+
+    Args:
+        path: Event-log file (``None`` keeps the table memory-only).
+        clock: Wall-clock source (epoch seconds).  Deadlines persist
+            across processes, so this must be a wall clock in production;
+            tests inject a fake.
+    """
+
+    def __init__(self, path: str | Path | None = None,
+                 clock: Callable[[], float] = time.time):
+        self.path = Path(path) if path is not None else None
+        self.clock = clock
+        self._leases: dict[str, Lease] = {}
+        self._grants: dict[str, int] = {}
+        self._fh = None
+
+    @classmethod
+    def open(cls, path: str | Path,
+             clock: Callable[[], float] = time.time) -> "LeaseTable":
+        """Load (or start) a table at ``path``, replaying its event log."""
+        table = cls(path, clock=clock)
+        if table.path.exists():
+            lines = table.path.read_text().splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    if lineno == len(lines):
+                        continue  # torn tail from a crash mid-append
+                    raise ValueError(
+                        f"corrupt lease event at {table.path}:{lineno}")
+                table._replay(event)
+        return table
+
+    def _replay(self, event: dict) -> None:
+        kind = event["event"]
+        tid = event["task_id"]
+        if kind == "lease":
+            self._leases[tid] = Lease(tid, event["worker_id"],
+                                      event["deadline"], event["attempt"])
+            self._grants[tid] = event["attempt"]
+        elif kind == "renew":
+            lease = self._leases.get(tid)
+            if lease is not None and lease.worker_id == event["worker_id"]:
+                self._leases[tid] = Lease(tid, lease.worker_id,
+                                          event["deadline"], lease.attempt)
+        elif kind in ("release", "expire"):
+            self._leases.pop(tid, None)
+        else:
+            raise ValueError(f"unknown lease event {kind!r}")
+
+    def _log(self, event: dict) -> None:
+        if self.path is None:
+            return
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    # Grants
+    # ------------------------------------------------------------------
+    def lease(self, task_id: str, worker_id: str,
+              ttl: float) -> Lease | None:
+        """Grant ``task_id`` to ``worker_id`` for ``ttl`` seconds.
+
+        Returns ``None`` while another worker holds an unexpired lease
+        on the task (an expired one is silently expired and re-granted).
+        """
+        now = self.clock()
+        current = self._leases.get(task_id)
+        if current is not None:
+            if not current.expired(now):
+                return None
+            self.expire(task_id)
+        attempt = self._grants.get(task_id, 0) + 1
+        lease = Lease(task_id, worker_id, now + ttl, attempt)
+        self._log({"event": "lease", "task_id": task_id,
+                   "worker_id": worker_id, "deadline": lease.deadline,
+                   "attempt": attempt})
+        self._leases[task_id] = lease
+        self._grants[task_id] = attempt
+        return lease
+
+    def renew(self, task_id: str, worker_id: str,
+              ttl: float) -> Lease | None:
+        """Heartbeat: push the deadline out.  ``None`` when the worker no
+        longer holds the lease (it expired and may have been stolen)."""
+        lease = self._leases.get(task_id)
+        if lease is None or lease.worker_id != worker_id:
+            return None
+        renewed = Lease(task_id, worker_id, self.clock() + ttl,
+                        lease.attempt)
+        self._log({"event": "renew", "task_id": task_id,
+                   "worker_id": worker_id, "deadline": renewed.deadline})
+        self._leases[task_id] = renewed
+        return renewed
+
+    def release(self, task_id: str, worker_id: str | None = None) -> bool:
+        """Drop a lease (task finished).  When ``worker_id`` is given the
+        release only applies if that worker still holds it."""
+        lease = self._leases.get(task_id)
+        if lease is None:
+            return False
+        if worker_id is not None and lease.worker_id != worker_id:
+            return False
+        self._log({"event": "release", "task_id": task_id,
+                   "worker_id": lease.worker_id})
+        del self._leases[task_id]
+        return True
+
+    def expire(self, task_id: str) -> bool:
+        """Forcibly return a task to pending (dead-worker recovery)."""
+        lease = self._leases.pop(task_id, None)
+        if lease is None:
+            return False
+        self._log({"event": "expire", "task_id": task_id,
+                   "worker_id": lease.worker_id})
+        return True
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def get(self, task_id: str) -> Lease | None:
+        return self._leases.get(task_id)
+
+    def active(self) -> list[Lease]:
+        """All current leases (including ones past deadline but not yet
+        expired by the scheduler), in grant order."""
+        return list(self._leases.values())
+
+    def held_by(self, worker_id: str) -> list[Lease]:
+        return [l for l in self._leases.values()
+                if l.worker_id == worker_id]
+
+    def expired(self, now: float | None = None) -> list[Lease]:
+        """Leases whose deadline has passed (not yet removed)."""
+        now = self.clock() if now is None else now
+        return [l for l in self._leases.values() if l.expired(now)]
+
+    def grants(self, task_id: str) -> int:
+        """Total scheduling attempts granted for a task so far."""
+        return self._grants.get(task_id, 0)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __repr__(self) -> str:
+        where = "memory" if self.path is None else str(self.path)
+        return f"LeaseTable({where!r}, active={len(self._leases)})"

@@ -1,0 +1,232 @@
+"""Lease-based campaign scheduler: the service's task state machine.
+
+:class:`CampaignScheduler` owns one campaign's progress: it expands the
+spec once, subtracts what the store already completed, and thereafter
+answers three events -- *a worker wants work* (:meth:`next_task`), *a
+worker is still alive* (:meth:`heartbeat`), *a worker finished something*
+(:meth:`report`) -- plus a periodic :meth:`tick` that steals expired
+leases back from dead workers.  It never executes tasks and never blocks
+on them: all methods return immediately, so one scheduler can feed any
+number of workers through any front end (in-process threads, the HTTP
+server, or both at once).
+
+Fault model: a worker that vanishes (``kill -9``, network partition)
+simply stops heartbeating; its lease expires after ``lease_ttl`` and the
+task returns to pending for another worker to steal.  A task that *fails*
+(records an error) is retried with the campaign's
+:class:`~repro.campaigns.retry.RetryPolicy` -- exponential backoff gates
+re-issue, and once attempts are exhausted the task is parked as
+permanently failed.  Because each task's seed is baked into its payload,
+any interleaving of workers, crashes and retries converges to the same
+store records as a serial run.
+
+Determinism of stamped metadata: ``attempt`` counts *records* (so a task
+whose first worker died before reporting is still attempt 1) and
+``backoff_seconds`` is the policy's deterministic delay for that attempt,
+not measured wall time -- both identical to what a serial
+:class:`~repro.campaigns.runner.CampaignRunner` stamps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..retry import NO_RETRY, RetryPolicy
+from ..spec import CampaignSpec, TaskSpec
+from ..store import STATUS_DONE, ResultStore
+from .leases import Lease, LeaseTable
+
+#: Default lease lifetime.  Workers heartbeat at ttl / 3, so a healthy
+#: worker never comes within two missed beats of losing its lease.
+DEFAULT_LEASE_TTL = 30.0
+
+
+class CampaignScheduler:
+    """Thread-safe lease-issuing scheduler for one campaign.
+
+    Args:
+        spec: The campaign grid.
+        store: Result store (the scheduler is its only writer).
+        leases: Lease table; defaults to one persisted beside the store
+            (``leases.jsonl``), or memory-only for ephemeral stores.
+        retry: Failed-task retry policy.
+        lease_ttl: Seconds a lease lives between heartbeats.
+        max_outstanding: Backpressure bound on simultaneously leased
+            tasks (``None`` = one per asking worker, unbounded).
+        clock: Injectable wall clock (tests).
+    """
+
+    def __init__(self, spec: CampaignSpec, store: ResultStore,
+                 leases: LeaseTable | None = None,
+                 retry: RetryPolicy = NO_RETRY,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_outstanding: int | None = None,
+                 clock: Callable[[], float] = time.time):
+        if max_outstanding is not None and max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.spec = spec
+        self.store = store
+        if leases is None:
+            leases = (LeaseTable(clock=clock) if store.path is None else
+                      LeaseTable.open(store.path / "leases.jsonl",
+                                      clock=clock))
+        self.leases = leases
+        self.retry = retry
+        self.lease_ttl = float(lease_ttl)
+        self.max_outstanding = max_outstanding
+        self.clock = clock
+        self._lock = threading.RLock()
+        grid = spec.tasks()
+        self._order = [t.task_id for t in grid]
+        self._tasks = {t.task_id: t for t in grid}
+        self._completed = set(store.completed_ids())
+        self._failed_final = {
+            tid for tid in store.failed_ids()
+            if retry.exhausted(store.attempts(tid))}
+        #: Backoff gates: task_id -> earliest re-issue time.
+        self._not_before: dict[str, float] = {}
+        self._stolen = 0
+
+    # ------------------------------------------------------------------
+    # Worker-facing events
+    # ------------------------------------------------------------------
+    def next_task(self, worker_id: str) -> tuple[TaskSpec, Lease] | None:
+        """Lease the first available task to ``worker_id``.
+
+        ``None`` means *no work right now*: everything is done, leased
+        out, backing off, or the outstanding-lease bound is hit.  Callers
+        should poll again (or stop, if :attr:`done`).
+        """
+        with self._lock:
+            self.tick()
+            if (self.max_outstanding is not None
+                    and len(self.leases) >= self.max_outstanding):
+                return None
+            now = self.clock()
+            for tid in self._order:
+                if tid in self._completed or tid in self._failed_final:
+                    continue
+                if self.leases.get(tid) is not None:
+                    continue
+                if now < self._not_before.get(tid, 0.0):
+                    continue
+                lease = self.leases.lease(tid, worker_id, self.lease_ttl)
+                if lease is not None:
+                    return self._tasks[tid], lease
+            return None
+
+    def heartbeat(self, worker_id: str,
+                  task_ids: list[str] | None = None) -> list[str]:
+        """Renew ``worker_id``'s leases (all of them when ``task_ids`` is
+        omitted); returns the ids actually renewed.  An id missing from
+        the return value means the lease was lost (expired + stolen) and
+        the worker should abandon that task."""
+        with self._lock:
+            if task_ids is None:
+                task_ids = [l.task_id
+                            for l in self.leases.held_by(worker_id)]
+            renewed = []
+            for tid in task_ids:
+                if self.leases.renew(tid, worker_id,
+                                     self.lease_ttl) is not None:
+                    renewed.append(tid)
+            return renewed
+
+    def report(self, worker_id: str, record: dict) -> bool:
+        """Accept one finished-task record from a worker.
+
+        Returns False (record dropped) for unknown tasks and for tasks
+        already completed -- the latter happens when a presumed-dead
+        worker finishes after its lease was stolen and the thief also
+        finished; both produced the same deterministic payload, so the
+        duplicate is simply ignored.  The record is stamped with its
+        ``attempt``/``backoff_seconds`` before the append, mirroring the
+        serial runner.
+        """
+        tid = record.get("task_id")
+        with self._lock:
+            if tid not in self._tasks or tid in self._completed:
+                if tid is not None:  # zombie still held a stale lease
+                    self.leases.release(tid, worker_id)
+                return False
+            attempt = self.store.attempts(tid) + 1
+            record = dict(record)
+            record["attempt"] = attempt
+            record["backoff_seconds"] = self.retry.delay(attempt)
+            record["worker_id"] = worker_id
+            self.store.append(record)
+            self.leases.release(tid)
+            if record["status"] == STATUS_DONE:
+                self._completed.add(tid)
+                self._not_before.pop(tid, None)
+            elif self.retry.exhausted(attempt):
+                self._failed_final.add(tid)
+            else:
+                self._not_before[tid] = (self.clock()
+                                         + self.retry.delay(attempt + 1))
+            return True
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def tick(self, now: float | None = None) -> list[str]:
+        """Expire overdue leases, returning their task ids to pending."""
+        with self._lock:
+            stolen = []
+            for lease in self.leases.expired(now):
+                self.leases.expire(lease.task_id)
+                stolen.append(lease.task_id)
+            self._stolen += len(stolen)
+            return stolen
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Every task completed or permanently failed."""
+        with self._lock:
+            return len(self._completed) + len(self._failed_final) \
+                == len(self._order)
+
+    def counts(self) -> dict:
+        """Progress snapshot: totals plus per-strategy breakdown."""
+        with self._lock:
+            done = len(self._completed)
+            failed = len(self._failed_final)
+            total = len(self._order)
+            per_strategy: dict[str, dict[str, int]] = {}
+            for tid in self._order:
+                row = per_strategy.setdefault(
+                    self._tasks[tid].strategy,
+                    {"total": 0, "done": 0, "failed": 0, "pending": 0})
+                row["total"] += 1
+                if tid in self._completed:
+                    row["done"] += 1
+                elif tid in self._failed_final:
+                    row["failed"] += 1
+                else:
+                    row["pending"] += 1
+            return {
+                "total": total, "done": done, "failed": failed,
+                "pending": total - done - failed,
+                "leased": len(self.leases),
+                "backing_off": sum(
+                    1 for tid, t in self._not_before.items()
+                    if t > self.clock()
+                    and tid not in self._completed
+                    and tid not in self._failed_final),
+                "leases_stolen": self._stolen,
+                "strategies": per_strategy,
+            }
+
+    def close(self) -> None:
+        self.leases.close()
+        self.store.close()
+
+    def __repr__(self) -> str:
+        return (f"CampaignScheduler({self.spec.name!r}, "
+                f"tasks={len(self._order)}, "
+                f"done={len(self._completed)}, leased={len(self.leases)})")

@@ -1,0 +1,249 @@
+"""Service state: the campaign registry behind every front end.
+
+:class:`ServiceState` is what ``repro serve`` actually serves: a registry
+of live campaigns (each a :class:`~repro.campaigns.service.scheduler.
+CampaignScheduler` over its own store under one root directory), plus the
+operations the HTTP handlers and in-process workers share -- idempotent
+spec submission, cross-campaign lease handout, status snapshots, and a
+cached report layer so ``GET /report`` does not re-aggregate an unchanged
+store on every request.
+
+Submission is content-addressed: a spec's campaign id is
+``<name>-<hash8>`` of its canonical JSON, so re-submitting the same spec
+(a retrying client, a restarted driver) attaches to the existing store
+and resumes instead of duplicating work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..report import render_report
+from ..retry import NO_RETRY, RetryPolicy
+from ..spec import CampaignSpec
+from ..store import ResultStore
+from .scheduler import DEFAULT_LEASE_TTL, CampaignScheduler
+
+
+def campaign_id(spec: CampaignSpec) -> str:
+    """Stable content-addressed id: same spec, same campaign."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:8]
+    return f"{spec.name}-{digest}"
+
+
+class Campaign:
+    """One registered campaign: scheduler + store + cached reports."""
+
+    def __init__(self, cid: str, scheduler: CampaignScheduler):
+        self.id = cid
+        self.scheduler = scheduler
+        self._report_cache: dict[tuple, tuple[int, str]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def store(self) -> ResultStore:
+        return self.scheduler.store
+
+    def status(self) -> dict:
+        counts = self.scheduler.counts()
+        return {"campaign": self.id,
+                "name": self.scheduler.spec.name,
+                "store": (None if self.store.path is None
+                          else str(self.store.path)),
+                "complete": self.scheduler.done,
+                **counts}
+
+    def report(self, fmt: str = "markdown", tier: str = "device_model",
+               improver: str = "clapton") -> str:
+        """Rendered report, cached until the store gains records."""
+        from ..aggregate import CampaignAggregate
+
+        key = (fmt, tier, improver)
+        with self._lock:
+            generation = len(self.store)
+            cached = self._report_cache.get(key)
+            if cached is not None and cached[0] == generation:
+                return cached[1]
+            aggregate = CampaignAggregate.from_store(self.store)
+            if fmt == "csv":
+                text = aggregate.to_csv()
+            elif fmt == "markdown":
+                text = render_report(self.store, tier=tier,
+                                     aggregate=aggregate,
+                                     improver=improver)
+            else:
+                raise ValueError(f"unknown report format {fmt!r}; "
+                                 f"expected 'markdown' or 'csv'")
+            self._report_cache[key] = (generation, text)
+            return text
+
+
+class ServiceState:
+    """Registry of live campaigns plus the worker-facing dispatch seam.
+
+    Args:
+        root: Directory submitted campaigns' stores are created under.
+        retry: Retry policy applied to every campaign's failed tasks.
+        lease_ttl: Lease lifetime handed to every scheduler.
+        max_outstanding: Per-campaign backpressure bound.
+        clock: Injectable wall clock (tests).
+    """
+
+    def __init__(self, root: str | Path, retry: RetryPolicy = NO_RETRY,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_outstanding: int | None = None,
+                 clock: Callable[[], float] = time.time):
+        self.root = Path(root)
+        self.retry = retry
+        self.lease_ttl = lease_ttl
+        self.max_outstanding = max_outstanding
+        self.clock = clock
+        self.started = clock()
+        self._campaigns: dict[str, Campaign] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def submit(self, spec_payload: dict) -> tuple[Campaign, bool]:
+        """Register a campaign from a spec payload.
+
+        Returns ``(campaign, resumed)``: idempotent on the spec's
+        content-addressed id -- an already-registered or on-disk campaign
+        is attached and resumed, never restarted.
+        """
+        spec = CampaignSpec.from_dict(spec_payload)
+        cid = campaign_id(spec)
+        with self._lock:
+            existing = self._campaigns.get(cid)
+            if existing is not None:
+                return existing, True
+            store_path = self.root / f"{cid}.campaign"
+            resumed = (store_path / "results.jsonl").exists()
+            if resumed:
+                store = ResultStore.open(store_path)
+            else:
+                self.root.mkdir(parents=True, exist_ok=True)
+                store = ResultStore.create(store_path, spec)
+            return self._register(cid, spec, store), resumed
+
+    def attach(self, store_path: str | Path) -> Campaign:
+        """Register an existing store directory (``repro serve --store``);
+        its recorded spec defines the grid."""
+        store = ResultStore.open(store_path)
+        cid = campaign_id(store.spec)
+        with self._lock:
+            if cid in self._campaigns:
+                return self._campaigns[cid]
+            return self._register(cid, store.spec, store)
+
+    def _register(self, cid: str, spec: CampaignSpec,
+                  store: ResultStore) -> Campaign:
+        scheduler = CampaignScheduler(
+            spec, store, retry=self.retry, lease_ttl=self.lease_ttl,
+            max_outstanding=self.max_outstanding, clock=self.clock)
+        campaign = Campaign(cid, scheduler)
+        self._campaigns[cid] = campaign
+        return campaign
+
+    # ------------------------------------------------------------------
+    # Lookup / status
+    # ------------------------------------------------------------------
+    def get(self, cid: str | None = None) -> Campaign:
+        """Campaign by id; with ``None``, the sole registered campaign.
+
+        Raises KeyError with the known ids when the lookup is ambiguous
+        or misses.
+        """
+        with self._lock:
+            if cid is None:
+                if len(self._campaigns) == 1:
+                    return next(iter(self._campaigns.values()))
+                raise KeyError(
+                    f"campaign id required ({len(self._campaigns)} "
+                    f"registered: {sorted(self._campaigns)})")
+            if cid not in self._campaigns:
+                raise KeyError(f"unknown campaign {cid!r}; "
+                               f"registered: {sorted(self._campaigns)}")
+            return self._campaigns[cid]
+
+    def campaigns(self) -> list[Campaign]:
+        with self._lock:
+            return list(self._campaigns.values())
+
+    def status(self) -> dict:
+        return {"uptime_seconds": self.clock() - self.started,
+                "campaigns": [c.status() for c in self.campaigns()]}
+
+    @property
+    def all_done(self) -> bool:
+        """True when at least one campaign is registered and all are
+        complete (``repro serve --until-done``)."""
+        campaigns = self.campaigns()
+        return bool(campaigns) and all(c.scheduler.done for c in campaigns)
+
+    # ------------------------------------------------------------------
+    # Worker-facing dispatch (shared by HTTP handlers and local workers)
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> dict:
+        """One unit of work for ``worker_id``, as a wire-ready payload.
+
+        ``{"task": null, "done": bool}`` when nothing is available;
+        otherwise the task payload plus its lease metadata.  Campaigns
+        are drained in registration order.
+        """
+        for campaign in self.campaigns():
+            grant = campaign.scheduler.next_task(worker_id)
+            if grant is not None:
+                task, lease = grant
+                return {"task": task.to_dict(),
+                        "campaign": campaign.id,
+                        "task_id": lease.task_id,
+                        "deadline": lease.deadline,
+                        "ttl": campaign.scheduler.lease_ttl,
+                        "scheduling_attempt": lease.attempt}
+        return {"task": None, "done": self.all_done}
+
+    def heartbeat(self, worker_id: str,
+                  leases: list[dict] | None = None) -> dict:
+        """Renew a worker's leases; ``leases`` is ``[{"campaign",
+        "task_id"}, ...]`` (``None`` renews everything it holds)."""
+        renewed = []
+        if leases is None:
+            for campaign in self.campaigns():
+                renewed.extend(
+                    {"campaign": campaign.id, "task_id": tid}
+                    for tid in campaign.scheduler.heartbeat(worker_id))
+        else:
+            for entry in leases:
+                try:
+                    campaign = self.get(entry.get("campaign"))
+                except KeyError:
+                    continue
+                for tid in campaign.scheduler.heartbeat(
+                        worker_id, [entry["task_id"]]):
+                    renewed.append({"campaign": campaign.id,
+                                    "task_id": tid})
+        return {"renewed": renewed}
+
+    def complete(self, worker_id: str, cid: str | None,
+                 record: dict) -> dict:
+        """Accept a finished-task record from a worker."""
+        campaign = self.get(cid)
+        accepted = campaign.scheduler.report(worker_id, record)
+        return {"accepted": accepted, "done": campaign.scheduler.done}
+
+    def tick(self) -> int:
+        """Expire overdue leases across all campaigns (ticker thread)."""
+        return sum(len(c.scheduler.tick()) for c in self.campaigns())
+
+    def close(self) -> None:
+        for campaign in self.campaigns():
+            campaign.scheduler.close()

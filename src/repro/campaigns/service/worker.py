@@ -1,0 +1,205 @@
+"""Fault-tolerant worker loop: lease, execute, heartbeat, report.
+
+A worker is a dumb loop over one seam -- :class:`SchedulerClient` --
+with two implementations: :class:`LocalSchedulerClient` calls a
+:class:`~repro.campaigns.service.state.ServiceState` in the same process
+(``repro serve --local-workers N``), and :class:`HttpSchedulerClient`
+speaks the JSON wire protocol to a remote ``repro serve`` (``repro
+worker --connect URL``).  The loop itself is identical either way:
+
+    lease -> execute_task -> report, heartbeating while the task runs
+
+Heavy per-process state stays worker-local by construction: tasks run
+through :func:`~repro.campaigns.runner.execute_task`, whose module-level
+``_E0_CACHE`` memoizes the dense eigensolve across every task the worker
+process ever runs -- the scheduler ships only small JSON payloads, never
+the heavy objects (the qibo ``parallel.py`` idiom).
+
+Crash safety is the *scheduler's* job: a worker that dies mid-task simply
+stops heartbeating and its lease expires.  The loop's own duties are to
+heartbeat at ``ttl / 3`` while executing (so slow tasks are not stolen
+from a live worker) and to tolerate a briefly unreachable server with
+bounded retries instead of dying on the first connection error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Callable, Protocol
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from ..runner import execute_task
+
+
+def default_worker_id() -> str:
+    """Cluster-unique worker identity: host, pid, and a random tail."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:6]}")
+
+
+class SchedulerClient(Protocol):
+    """What a worker needs from a scheduler, local or remote."""
+
+    def lease(self, worker_id: str) -> dict:
+        """One work grant (see ``ServiceState.lease`` for the shape)."""
+        ...
+
+    def heartbeat(self, worker_id: str, leases: list[dict]) -> dict:
+        ...
+
+    def complete(self, worker_id: str, campaign: str | None,
+                 record: dict) -> dict:
+        ...
+
+
+class LocalSchedulerClient:
+    """In-process client: the serve loop's own worker threads."""
+
+    def __init__(self, state):
+        self.state = state
+
+    def lease(self, worker_id: str) -> dict:
+        return self.state.lease(worker_id)
+
+    def heartbeat(self, worker_id: str, leases: list[dict]) -> dict:
+        return self.state.heartbeat(worker_id, leases)
+
+    def complete(self, worker_id: str, campaign: str | None,
+                 record: dict) -> dict:
+        return self.state.complete(worker_id, campaign, record)
+
+
+class HttpSchedulerClient:
+    """JSON-over-HTTP client for a remote ``repro serve``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, path: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode()
+        req = urlrequest.Request(
+            self.base_url + path, data=body,
+            headers={"Content-Type": "application/json"})
+        with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+            return json.loads(resp.read().decode())
+
+    def lease(self, worker_id: str) -> dict:
+        return self._post("/lease", {"worker_id": worker_id})
+
+    def heartbeat(self, worker_id: str, leases: list[dict]) -> dict:
+        return self._post("/heartbeat", {"worker_id": worker_id,
+                                         "leases": leases})
+
+    def complete(self, worker_id: str, campaign: str | None,
+                 record: dict) -> dict:
+        return self._post("/complete", {"worker_id": worker_id,
+                                        "campaign": campaign,
+                                        "record": record})
+
+
+class _Heartbeat:
+    """Background renewal of one lease while its task executes."""
+
+    def __init__(self, client: SchedulerClient, worker_id: str,
+                 campaign: str | None, task_id: str, interval: float):
+        self._stop = threading.Event()
+
+        def beat():
+            while not self._stop.wait(interval):
+                try:
+                    self._client_beat()
+                except Exception:
+                    # a missed beat is survivable (the lease outlives
+                    # several); a dead server will surface in the loop
+                    pass
+
+        self._client = client
+        self._worker_id = worker_id
+        self._leases = [{"campaign": campaign, "task_id": task_id}]
+        self._thread = threading.Thread(target=beat, daemon=True,
+                                        name=f"heartbeat-{task_id[:8]}")
+        self._thread.start()
+
+    def _client_beat(self):
+        self._client.heartbeat(self._worker_id, self._leases)
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def run_worker(client: SchedulerClient,
+               worker_id: str | None = None, *,
+               poll_interval: float = 0.5,
+               exit_on_idle: bool = False,
+               max_tasks: int | None = None,
+               max_connect_failures: int = 20,
+               on_event: Callable[[str, dict], None] | None = None,
+               sleep: Callable[[float], None] = time.sleep) -> int:
+    """Drain tasks from a scheduler until told (or allowed) to stop.
+
+    Args:
+        client: Local or HTTP scheduler client.
+        worker_id: Stable identity for leases (generated when omitted).
+        poll_interval: Idle sleep between lease polls.
+        exit_on_idle: Return once the scheduler reports every campaign
+            done (otherwise keep polling for new submissions forever).
+        max_tasks: Stop after this many executions (tests, canaries).
+        max_connect_failures: Consecutive unreachable-server polls
+            tolerated before giving up (raises the last error).
+        on_event: Observer hook ``(kind, payload)`` for CLI logging;
+            kinds: ``lease``, ``record``, ``idle``, ``lost``.
+
+    Returns the number of tasks executed.
+    """
+    worker_id = worker_id or default_worker_id()
+    executed = 0
+    connect_failures = 0
+    notify = on_event or (lambda kind, payload: None)
+    while True:
+        try:
+            grant = client.lease(worker_id)
+            connect_failures = 0
+        except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
+            connect_failures += 1
+            if connect_failures >= max_connect_failures:
+                raise
+            notify("lost", {"error": str(exc),
+                            "failures": connect_failures})
+            sleep(poll_interval)
+            continue
+        if grant.get("task") is None:
+            if exit_on_idle and grant.get("done"):
+                return executed
+            notify("idle", grant)
+            sleep(poll_interval)
+            continue
+        campaign = grant.get("campaign")
+        task_id = grant.get("task_id")
+        notify("lease", grant)
+        # heartbeat at a third of the ttl: two missed beats of slack
+        interval = max(0.05, float(grant.get("ttl") or 30.0) / 3.0)
+        heart = _Heartbeat(client, worker_id, campaign, task_id, interval)
+        try:
+            record = execute_task(grant["task"])
+        finally:
+            heart.stop()
+        try:
+            ack = client.complete(worker_id, campaign, record)
+        except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
+            # the record is lost but the work is not: the lease expires
+            # and another worker recomputes the identical record
+            notify("lost", {"error": str(exc), "task_id": task_id})
+            sleep(poll_interval)
+            continue
+        executed += 1
+        notify("record", {"record": record, "ack": ack})
+        if max_tasks is not None and executed >= max_tasks:
+            return executed

@@ -5,13 +5,23 @@ Layout of a store directory::
     <store>/
       spec.json       # the CampaignSpec (written once, atomically)
       results.jsonl   # one record per completed/failed task, append-only
+      leases.jsonl    # present when a campaign service drives the store
+                      # (see repro.campaigns.service)
 
 Records are flat JSON objects ``{"task_id", "status", "seconds", "task",
-"result", "error"}``.  Appends flush + fsync before returning, so a crash
-loses at most the record being written; :meth:`ResultStore.open` rebuilds
-the index by scanning the log and silently drops a torn trailing line.
-Re-recording a task id appends a new line and the *latest* record wins --
-the log is an audit trail, the index is the truth.
+"result", "error"}`` (runs routed through a retry policy also carry
+``"attempt"`` and ``"backoff_seconds"``).  Appends go through one
+persistent file handle guarded by an advisory ``fcntl`` lock -- the first
+append locks the log for the life of the store object, so a second writer
+(a stray ``repro sweep`` against a store a service owns, say) fails fast
+with :class:`StoreLockedError` instead of interleaving records silently.
+Every append flushes + fsyncs before returning, so a crash loses at most
+the record being written; :meth:`ResultStore.open` rebuilds the index by
+scanning the log, silently dropping a torn *trailing* line (the normal
+crash artifact) but warning with a line number on any undecodable line
+mid-log, since that indicates real damage.  Re-recording a task id appends
+a new line and the *latest* record wins -- the log is an audit trail, the
+index is the truth.
 
 ``ResultStore.ephemeral`` keeps the same interface fully in memory for
 one-off campaigns (the legacy ``sweep_relative_improvement`` wrapper).
@@ -21,7 +31,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import warnings
 from pathlib import Path
+
+try:  # advisory locking is POSIX-only; Windows degrades to no locking
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from .spec import CampaignSpec, lenient_methods
 
@@ -33,18 +50,27 @@ STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 
 
+class StoreLockedError(RuntimeError):
+    """Another process (or store object) holds this store's write lock."""
+
+
 class ResultStore:
     """Index over a campaign's append-only result log.
 
     Use the constructors: :meth:`create` for a fresh directory,
     :meth:`open` to reopen an existing one (resume, status, reporting),
-    and :meth:`ephemeral` for an in-memory store.
+    and :meth:`ephemeral` for an in-memory store.  Read paths never
+    lock; the first :meth:`append` acquires the store's exclusive
+    advisory write lock and keeps it until :meth:`close`.
     """
 
     def __init__(self, path: Path | None, spec: CampaignSpec):
         self.path = Path(path) if path is not None else None
         self.spec = spec
         self._records: dict[str, dict] = {}
+        self._attempts: dict[str, int] = {}
+        self._fh = None
+        self._append_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -79,13 +105,25 @@ class ResultStore:
             store = cls(path, CampaignSpec.load(spec_path))
         results = path / _RESULTS_FILE
         if results.exists():
-            with open(results) as fh:
-                for line in fh:
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
+            lines = results.read_text().splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if lineno == len(lines):
                         continue  # torn trailing line from a crash
-                    store._records[record["task_id"]] = record
+                    # an undecodable line *followed by valid ones* is not
+                    # a crash artifact -- surface it instead of silently
+                    # shrinking the campaign
+                    warnings.warn(
+                        f"corrupt record at {results}:{lineno} "
+                        f"(mid-log, not a torn tail) -- skipping it; "
+                        f"the store may have been damaged or edited",
+                        RuntimeWarning, stacklevel=2)
+                    continue
+                tid = record["task_id"]
+                store._records[tid] = record
+                store._attempts[tid] = store._attempts.get(tid, 0) + 1
         return store
 
     @classmethod
@@ -96,17 +134,53 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
+    def _writer(self):
+        """The persistent, advisory-locked append handle (lazy)."""
+        if self._fh is None:
+            fh = open(self.path / _RESULTS_FILE, "a")
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fh.fileno(),
+                                fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    fh.close()
+                    raise StoreLockedError(
+                        f"{self.path} is already being written by another "
+                        f"runner/service; two concurrent writers would "
+                        f"interleave records") from None
+            self._fh = fh
+        return self._fh
+
     def append(self, record: dict) -> None:
-        """Checkpoint one task record (flush + fsync when file-backed)."""
+        """Checkpoint one task record (flush + fsync when file-backed).
+
+        The first file-backed append takes the store's exclusive write
+        lock (:class:`StoreLockedError` if another writer holds it).
+        """
         if "task_id" not in record or "status" not in record:
             raise ValueError("record needs task_id and status")
-        if self.path is not None:
-            line = json.dumps(record, sort_keys=True)
-            with open(self.path / _RESULTS_FILE, "a") as fh:
-                fh.write(line + "\n")
+        with self._append_lock:
+            if self.path is not None:
+                fh = self._writer()
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
                 fh.flush()
                 os.fsync(fh.fileno())
-        self._records[record["task_id"]] = record
+            tid = record["task_id"]
+            self._records[tid] = record
+            self._attempts[tid] = self._attempts.get(tid, 0) + 1
+
+    def close(self) -> None:
+        """Release the write handle and its advisory lock (idempotent)."""
+        with self._append_lock:
+            if self._fh is not None:
+                self._fh.close()  # closing drops the flock
+                self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Reads
@@ -117,6 +191,10 @@ class ResultStore:
     def records(self) -> list[dict]:
         """Latest record per task, in first-recorded order."""
         return list(self._records.values())
+
+    def attempts(self, task_id: str) -> int:
+        """Executions recorded for a task so far (log lines, not index)."""
+        return self._attempts.get(task_id, 0)
 
     def completed_ids(self) -> set[str]:
         return {tid for tid, r in self._records.items()

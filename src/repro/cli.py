@@ -15,6 +15,13 @@ the campaign subsystem:
     repro status grid.campaign      # done/failed/pending counts
     repro report grid.campaign      # markdown figure tables (+ --csv)
 
+Campaigns can also run as a long-lived service (see
+:mod:`repro.campaigns.service` for the architecture):
+
+    repro serve --root ./campaigns --port 8000     # scheduler + HTTP
+    repro worker --connect http://host:8000        # lease-driven worker
+    repro submit grid.json --connect http://host:8000 --watch
+
 The Figure-4 engine working point (s / m / k / |S| / retry rounds) is
 adjustable from the command line via the ``--engine-*`` flags shared by
 ``run`` and ``sweep``.
@@ -355,17 +362,27 @@ def _cmd_sweep(args) -> int:
         print(f"[{done['n']}/{total}] {label}/{method} "
               f"{status} ({record['seconds']:.1f}s)")
 
+    from .campaigns import RetryPolicy
+
+    try:
+        retry = RetryPolicy(max_attempts=args.max_attempts,
+                            backoff_base=args.backoff)
+    except ValueError as exc:
+        print(f"bad retry policy: {exc}", file=sys.stderr)
+        return 2
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     runner = CampaignRunner(spec, store, executor=executor)
     try:
-        progress = runner.run(on_record=on_record)
+        progress = runner.run(on_record=on_record, retry=retry)
     finally:
+        store.close()
         if executor is not None:
             executor.close()
     counts = store.counts()
+    retried = f", {progress.retried} retried" if progress.retried else ""
     print(f"done: {counts['done']}/{counts['total']} "
-          f"({counts['failed']} failed, {progress.skipped} skipped, "
-          f"{progress.seconds:.1f}s)")
+          f"({counts['failed']} failed, {progress.skipped} skipped"
+          f"{retried}, {progress.seconds:.1f}s)")
     print(f"next: repro report {store_path}")
     return 0 if counts["failed"] == 0 else 1
 
@@ -443,6 +460,205 @@ def _cmd_report(args) -> int:
         aggregate.write_csv(args.csv)
         print(f"\nrow-level CSV written to {args.csv}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# Campaign service verbs (see repro.campaigns.service)
+# ----------------------------------------------------------------------
+def _load_spec_payload(path: str) -> dict | None:
+    """Spec file -> JSON payload; ``None`` after a stderr message."""
+    import json
+    from pathlib import Path
+
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot load campaign spec {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args) -> int:
+    import threading
+    import time
+
+    from .campaigns import RetryPolicy
+    from .campaigns.service import (
+        LocalSchedulerClient,
+        ServiceState,
+        run_worker,
+        start_server,
+    )
+
+    try:
+        retry = RetryPolicy(max_attempts=args.max_attempts,
+                            backoff_base=args.backoff)
+    except ValueError as exc:
+        print(f"bad retry policy: {exc}", file=sys.stderr)
+        return 2
+    state = ServiceState(root=args.root, retry=retry,
+                         lease_ttl=args.lease_ttl,
+                         max_outstanding=args.max_outstanding)
+    for spec_path in args.spec or []:
+        payload = _load_spec_payload(spec_path)
+        if payload is None:
+            return 2
+        try:
+            campaign, resumed = state.submit(payload)
+        except (ValueError, TypeError, KeyError, OSError) as exc:
+            print(f"cannot register {spec_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        status = campaign.status()
+        print(f"campaign {campaign.id}: {status['total']} tasks, "
+              f"{status['done']} done"
+              f"{' (resumed)' if resumed else ''}")
+    for store_path in args.store or []:
+        try:
+            campaign = state.attach(store_path)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            print(f"cannot attach store {store_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"campaign {campaign.id}: attached from {store_path}")
+    server = start_server(state, host=args.host, port=args.port,
+                          verbose=args.verbose)
+    print(f"serving at {server.url} (lease ttl {args.lease_ttl:g}s, "
+          f"max attempts {args.max_attempts}, root {args.root})")
+    worker_threads = []
+    client = LocalSchedulerClient(state)
+    for i in range(args.local_workers):
+        thread = threading.Thread(
+            target=run_worker, args=(client,),
+            kwargs={"worker_id": f"local-{i}", "poll_interval": 0.2,
+                    "exit_on_idle": args.until_done},
+            daemon=True, name=f"local-worker-{i}")
+        thread.start()
+        worker_threads.append(thread)
+    if worker_threads:
+        print(f"{len(worker_threads)} local worker(s) attached")
+    try:
+        if args.until_done:
+            while not state.all_done:
+                time.sleep(0.2)
+            for thread in worker_threads:
+                thread.join(timeout=10)
+            failed = 0
+            for campaign in state.campaigns():
+                status = campaign.status()
+                failed += status["failed"]
+                print(f"campaign {campaign.id}: {status['done']}/"
+                      f"{status['total']} done, {status['failed']} "
+                      f"failed, {status['leases_stolen']} leases stolen")
+            return 0 if failed == 0 else 1
+        while True:  # serve forever; ctrl-C (or a signal) stops us
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+    finally:
+        server.stop()
+
+
+def _cmd_worker(args) -> int:
+    from urllib.error import URLError
+
+    from .campaigns.service import (
+        HttpSchedulerClient,
+        default_worker_id,
+        run_worker,
+    )
+
+    client = HttpSchedulerClient(args.connect)
+    worker_id = args.worker_id or default_worker_id()
+    print(f"worker {worker_id} -> {args.connect}")
+
+    def on_event(kind, payload):
+        if kind == "lease":
+            task = payload["task"]
+            print(f"  lease {payload['task_id'][:10]} "
+                  f"{task['benchmark']}/{task['method']}")
+        elif kind == "record":
+            record = payload["record"]
+            print(f"  {record['status']} {record['task_id'][:10]} "
+                  f"({record['seconds']:.1f}s)")
+        elif kind == "lost":
+            print(f"  server unreachable: {payload['error']}",
+                  file=sys.stderr)
+
+    try:
+        executed = run_worker(client, worker_id,
+                              poll_interval=args.poll,
+                              exit_on_idle=args.exit_on_idle,
+                              max_tasks=args.max_tasks,
+                              on_event=on_event)
+    except (URLError, ConnectionError, TimeoutError) as exc:
+        print(f"worker {worker_id}: lost the scheduler at "
+              f"{args.connect}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(f"\nworker {worker_id}: interrupted")
+        return 0
+    print(f"worker {worker_id}: {executed} task(s) executed")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+    import time
+    from urllib import request as urlrequest
+    from urllib.error import URLError
+
+    payload = _load_spec_payload(args.spec)
+    if payload is None:
+        return 2
+    base = args.connect.rstrip("/")
+
+    def http_json(path: str, body: dict | None = None) -> dict:
+        if body is not None:
+            req = urlrequest.Request(
+                base + path, data=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"})
+        else:
+            req = urlrequest.Request(base + path)
+        with urlrequest.urlopen(req, timeout=30.0) as resp:
+            return json.loads(resp.read().decode())
+
+    try:
+        submitted = http_json("/campaigns", payload)
+    except (URLError, ConnectionError, TimeoutError) as exc:
+        print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    if "error" in submitted:
+        print(f"submit rejected: {submitted['error']}", file=sys.stderr)
+        return 2
+    cid = submitted["campaign"]
+    print(f"campaign {cid}: {submitted['total']} tasks, "
+          f"{submitted['done']} done"
+          f"{' (resumed)' if submitted.get('resumed') else ''}")
+    if not args.watch:
+        print(f"watch:  repro submit {args.spec} --connect "
+              f"{args.connect} --watch")
+        return 0
+    last = None
+    while True:
+        try:
+            status = http_json(f"/status?campaign={cid}")
+        except (URLError, ConnectionError, TimeoutError) as exc:
+            print(f"lost the server: {exc}", file=sys.stderr)
+            return 1
+        line = (f"{status['done']}/{status['total']} done, "
+                f"{status['failed']} failed, {status['leased']} leased")
+        if line != last:
+            print(line)
+            last = line
+        if status["done"] + status["failed"] >= status["total"]:
+            break
+        time.sleep(args.poll)
+    report = urlrequest.urlopen(
+        f"{base}/report?campaign={cid}", timeout=30.0).read().decode()
+    print(report, end="")
+    return 0 if status["failed"] == 0 else 1
 
 
 def _add_engine_flags(parser) -> None:
@@ -531,8 +747,79 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated search strategies "
                               "overriding the spec's strategy axis "
                               "(see `repro strategies`)")
+    p_sweep.add_argument("--max-attempts", type=int, default=1,
+                         help="executions a failing cell gets this run "
+                              "(retried with exponential backoff)")
+    p_sweep.add_argument("--backoff", type=float, default=0.5,
+                         help="seconds before the first retry (doubles "
+                              "per further attempt)")
     _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service (scheduler + HTTP)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="0 picks a free port (printed at startup)")
+    p_serve.add_argument("--root", default="./campaigns",
+                         help="directory submitted campaign stores are "
+                              "created under")
+    p_serve.add_argument("--spec", action="append", metavar="FILE",
+                         help="CampaignSpec JSON to register at startup "
+                              "(repeatable)")
+    p_serve.add_argument("--store", action="append", metavar="DIR",
+                         help="existing campaign store to attach and "
+                              "resume (repeatable)")
+    p_serve.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="seconds a worker lease lives between "
+                              "heartbeats")
+    p_serve.add_argument("--max-attempts", type=int, default=1,
+                         help="executions a failing task gets before it "
+                              "is parked as permanently failed")
+    p_serve.add_argument("--backoff", type=float, default=0.5,
+                         help="seconds before the first retry (doubles "
+                              "per further attempt)")
+    p_serve.add_argument("--max-outstanding", type=int, default=None,
+                         help="backpressure: cap on simultaneously "
+                              "leased tasks per campaign")
+    p_serve.add_argument("--local-workers", type=int, default=0,
+                         metavar="N",
+                         help="also run N in-process worker threads")
+    p_serve.add_argument("--until-done", action="store_true",
+                         help="exit (status 0/1) once every registered "
+                              "campaign completes, instead of serving "
+                              "forever")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="lease-driven campaign worker")
+    p_worker.add_argument("--connect", required=True, metavar="URL",
+                          help="base URL of a running `repro serve`")
+    p_worker.add_argument("--worker-id",
+                          help="stable worker identity (default: "
+                               "host-pid-random)")
+    p_worker.add_argument("--poll", type=float, default=0.5,
+                          help="idle seconds between lease polls")
+    p_worker.add_argument("--exit-on-idle", action="store_true",
+                          help="exit once the server reports every "
+                               "campaign complete")
+    p_worker.add_argument("--max-tasks", type=int, default=None,
+                          help="stop after this many task executions")
+    p_worker.set_defaults(fn=_cmd_worker)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running service")
+    p_submit.add_argument("spec", help="CampaignSpec JSON file")
+    p_submit.add_argument("--connect", required=True, metavar="URL",
+                          help="base URL of a running `repro serve`")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="poll status until the campaign completes, "
+                               "then print its report")
+    p_submit.add_argument("--poll", type=float, default=1.0,
+                          help="seconds between --watch status polls")
+    p_submit.set_defaults(fn=_cmd_submit)
 
     p_status = sub.add_parser("status", help="campaign store progress")
     p_status.add_argument("store", help="campaign store directory")

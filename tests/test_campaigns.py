@@ -16,6 +16,8 @@ from repro.campaigns import (
     CampaignRunner,
     CampaignSpec,
     ResultStore,
+    RetryPolicy,
+    StoreLockedError,
     TaskSpec,
     engine_from_dict,
     engine_to_dict,
@@ -150,12 +152,40 @@ class TestStore:
         assert ResultStore.open(tmp_path / "s").completed_ids() == {"t1"}
 
     def test_torn_trailing_line_is_dropped(self, tmp_path):
+        import warnings
+
         store = ResultStore.create(tmp_path / "s", tiny_spec())
         store.append({"task_id": "t1", "status": "done"})
         with open(tmp_path / "s" / "results.jsonl", "a") as fh:
             fh.write('{"task_id": "t2", "status": "do')  # crash mid-append
-        reopened = ResultStore.open(tmp_path / "s")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # torn tail is normal: silent
+            reopened = ResultStore.open(tmp_path / "s")
         assert reopened.completed_ids() == {"t1"}
+
+    def test_mid_log_corruption_warns_with_line_number(self, tmp_path):
+        store = ResultStore.create(tmp_path / "s", tiny_spec())
+        store.append({"task_id": "t1", "status": "done"})
+        store.close()
+        with open(tmp_path / "s" / "results.jsonl", "a") as fh:
+            fh.write("NOT JSON AT ALL\n")  # damage followed by a valid line
+            fh.write('{"task_id": "t3", "status": "done"}\n')
+        with pytest.warns(RuntimeWarning, match=r"corrupt record at .*:2 "):
+            reopened = ResultStore.open(tmp_path / "s")
+        assert reopened.completed_ids() == {"t1", "t3"}
+
+    def test_second_writer_fails_fast(self, tmp_path):
+        pytest.importorskip("fcntl")
+        first = ResultStore.create(tmp_path / "s", tiny_spec())
+        first.append({"task_id": "t1", "status": "done"})
+        second = ResultStore.open(tmp_path / "s")
+        with pytest.raises(StoreLockedError, match="already being written"):
+            second.append({"task_id": "t2", "status": "done"})
+        first.close()  # lock released with the handle...
+        second.append({"task_id": "t2", "status": "done"})  # ...now fine
+        second.close()
+        assert ResultStore.open(
+            tmp_path / "s").completed_ids() == {"t1", "t2"}
 
     def test_create_refuses_existing_store(self, tmp_path):
         ResultStore.create(tmp_path / "s", tiny_spec())
@@ -178,10 +208,12 @@ class TestRunnerResume:
         ref = energies(ref_store)
         assert len(ref) == n
 
-        # crash after k of n tasks, then reopen and resume
+        # crash after k of n tasks, then reopen and resume (a real crash
+        # drops the write lock with the process; simulate that close)
         k = 2
         store = ResultStore.create(tmp_path / "crash", spec)
         progress = CampaignRunner(spec, store).run(max_tasks=k)
+        store.close()
         assert progress.ran == k
         reopened = ResultStore.open(tmp_path / "crash")
         assert len(reopened.completed_ids()) == k
@@ -233,6 +265,56 @@ class TestRunnerResume:
         # failed cells rerun by default, are skippable via retry_failed
         progress = CampaignRunner(spec, store).run(retry_failed=False)
         assert progress.ran == 0
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_pure_arithmetic(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.5,
+                             backoff_factor=2.0, backoff_max=3.0)
+        assert [policy.delay(a) for a in (1, 2, 3, 4, 5, 6)] == \
+               [0.0, 0.5, 1.0, 2.0, 3.0, 3.0]  # capped at backoff_max
+        assert not policy.exhausted(4) and policy.exhausted(5)
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError, match="factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_runner_retries_until_exhausted(self, tmp_path):
+        spec = tiny_spec(benchmarks=["bogus_bench"])  # every task fails
+        n = spec.num_tasks
+        store = ResultStore.create(tmp_path / "s", spec)
+        progress = CampaignRunner(spec, store).run(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0))
+        assert progress.ran == 3 * n       # three rounds of executions
+        assert progress.retried == 2 * n   # rounds two and three
+        assert progress.failed == n        # still failed at the end
+        assert progress.completed == 0     # no cell ever succeeded
+        for tid in progress.failed_ids:
+            assert store.attempts(tid) == 3
+            assert store.record(tid)["attempt"] == 3
+
+    def test_retry_stamps_deterministic_backoff(self, tmp_path):
+        spec = tiny_spec(benchmarks=["bogus_bench"], methods=["clapton"])
+        store = ResultStore.create(tmp_path / "s", spec)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01)
+        CampaignRunner(spec, store).run(retry=policy)
+        for record in store.records():
+            # the stamped delay is the policy's arithmetic, not wall time
+            assert record["attempt"] == 2
+            assert record["backoff_seconds"] == policy.delay(2) == 0.01
+
+    def test_successful_run_stamps_attempt_one(self, tmp_path):
+        spec = tiny_spec(methods=["clapton"], noise_scales=[1.0])
+        store = ResultStore.create(tmp_path / "s", spec)
+        CampaignRunner(spec, store).run(
+            retry=RetryPolicy(max_attempts=3))
+        for record in store.records():
+            assert record["attempt"] == 1
+            assert record["backoff_seconds"] == 0.0
 
 
 class TestAggregateReport:

@@ -180,3 +180,101 @@ class TestCampaignCLI:
     def test_status_and_report_reject_missing_store(self, capsys, tmp_path):
         assert main(["status", str(tmp_path / "nope")]) == 2
         assert main(["report", str(tmp_path / "nope")]) == 2
+
+    def test_sweep_rejects_bad_retry_policy(self, capsys, spec_path):
+        assert main(["sweep", str(spec_path), "--max-attempts", "0"]) == 2
+        assert "bad retry policy" in capsys.readouterr().err
+
+    def test_sweep_max_attempts_stamps_records(self, capsys, spec_path):
+        from repro.campaigns import ResultStore
+
+        store = str(spec_path.with_suffix(".campaign"))
+        assert main(["sweep", str(spec_path), "--max-attempts", "3"]) == 0
+        for record in ResultStore.open(store).records():
+            assert record["attempt"] == 1  # nothing failed, no retries
+            assert record["backoff_seconds"] == 0.0
+
+
+class TestServiceCLI:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        import json
+
+        spec = {
+            "name": "svc-grid",
+            "benchmarks": ["ising_J1.00"],
+            "qubit_sizes": [3],
+            "noise_scales": [1.0],
+            "methods": ["ncafqa", "clapton"],
+            "seeds": [0, 1],
+            "engine_preset": "smoke",
+            "engine_overrides": {"num_instances": 1,
+                                 "generations_per_round": 6, "top_k": 3,
+                                 "population_size": 10, "retry_rounds": 0},
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_serve_until_done_with_local_workers(self, capsys, tmp_path,
+                                                 spec_path):
+        root = tmp_path / "campaigns"
+        assert main(["serve", "--port", "0", "--root", str(root),
+                     "--spec", str(spec_path), "--until-done",
+                     "--local-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 tasks" in out
+        assert "2 local worker(s) attached" in out
+        assert "4/4 done, 0 failed" in out
+
+        # the service left a normal store behind: status/report work on it
+        stores = list(root.glob("*.campaign"))
+        assert len(stores) == 1
+        assert main(["status", str(stores[0])]) == 0
+        assert "4 done, 0 failed, 0 pending" in capsys.readouterr().out
+
+        # re-serving the same spec resumes the finished campaign
+        assert main(["serve", "--port", "0", "--root", str(root),
+                     "--spec", str(spec_path), "--until-done"]) == 0
+        assert "(resumed)" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_inputs(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"benchmarks": ["x"]}')  # missing name
+        assert main(["serve", "--port", "0", "--root",
+                     str(tmp_path / "r"), "--spec", str(bad)]) == 2
+        assert "cannot register" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--root",
+                     str(tmp_path / "r"), "--max-attempts", "0"]) == 2
+        assert "bad retry policy" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--root",
+                     str(tmp_path / "r"),
+                     "--store", str(tmp_path / "nope")]) == 2
+        assert "cannot attach" in capsys.readouterr().err
+
+    def test_submit_to_live_server(self, capsys, tmp_path, spec_path):
+        from repro.campaigns.service import ServiceState, start_server
+
+        state = ServiceState(tmp_path / "root")
+        server = start_server(state, port=0)
+        try:
+            assert main(["submit", str(spec_path),
+                         "--connect", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "svc-grid" in out and "4 task" in out
+            # idempotent: a second submit attaches, not restarts
+            assert main(["submit", str(spec_path),
+                         "--connect", server.url]) == 0
+            assert "resumed" in capsys.readouterr().out
+        finally:
+            server.stop()
+
+    def test_submit_unreachable_server(self, capsys, spec_path):
+        assert main(["submit", str(spec_path),
+                     "--connect", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_worker_unreachable_server(self, capsys):
+        assert main(["worker", "--connect", "http://127.0.0.1:9",
+                     "--poll", "0.01"]) == 1
+        assert "lost the scheduler" in capsys.readouterr().err
