@@ -1,0 +1,104 @@
+"""Micro-benchmark: cost of the always-present instrumentation.
+
+The tracing instrumentation stays in the hot paths permanently -- every
+``evaluate_many``, engine round, and task execution enters a
+``get_tracer().span(...)`` context even when no tracer is installed.
+This bench certifies the no-op path is cheap enough to leave on: it
+runs one clapton search at the engine working point (the span-heaviest
+configuration per second of work), counts the spans such a run opens,
+measures the per-span cost of the null path directly, and asserts the
+implied overhead is under 2% of the uninstrumented run's wall time.
+
+Emits one BENCH JSON line/file like the other micro-benchmarks (CI
+uploads it).  The JSON lands at ``CLAPTON_BENCH_JSON`` (default
+``benchmarks/bench_results/obs_overhead.json``).
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import print_banner, run_once
+
+from repro.backends import ALL_BACKENDS
+from repro.experiments import Experiment, bench_engine
+from repro.hamiltonians import get_benchmark
+from repro.obs import RecordingTracer, get_tracer, use_tracer
+
+#: Hard acceptance bar: instrumentation must cost < 2% with no tracer.
+MAX_OVERHEAD_FRACTION = 0.02
+
+#: Iterations of the null-span timing loop (amortizes timer resolution).
+NULL_LOOP = 200_000
+
+
+def _working_point_run():
+    """One clapton search at the bench engine working point."""
+    bench = get_benchmark("ising_J1.00", 4)
+    experiment = Experiment(bench.hamiltonian(),
+                            backend=ALL_BACKENDS["nairobi"](),
+                            name=bench.name)
+    config = replace(bench_engine(), seed=0)
+    return experiment.run(methods=("clapton",), config=config, seed=0)
+
+
+def _null_span_seconds() -> float:
+    """Per-entry cost of ``with get_tracer().span(...)`` on the no-op."""
+    tracer = get_tracer()
+    assert not tracer.enabled, "bench must run with the default tracer"
+    start = time.perf_counter()
+    for i in range(NULL_LOOP):
+        with tracer.span("bench.noop", batch=i, loss="clapton"):
+            pass
+    return (time.perf_counter() - start) / NULL_LOOP
+
+
+def _emit_bench_json(payload: dict) -> None:
+    path = Path(os.environ.get(
+        "CLAPTON_BENCH_JSON",
+        Path(__file__).parent / "bench_results" / "obs_overhead.json"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"BENCH {json.dumps(payload)}")
+
+
+def test_noop_tracing_overhead_under_budget(benchmark):
+    # wall time of the instrumented run with the *null* tracer -- this
+    # is what users pay by default, instrumentation included
+    seconds_plain = run_once(
+        benchmark,
+        lambda: (lambda t0: (_working_point_run(),
+                             time.perf_counter() - t0)[1])(
+            time.perf_counter()))
+
+    # span volume of the identical run (recording tracer counts them)
+    with use_tracer(RecordingTracer()) as tracer:
+        _working_point_run()
+    num_spans = len(tracer.spans)
+
+    per_span = _null_span_seconds()
+    overhead = num_spans * per_span / seconds_plain
+
+    print_banner("Observability no-op overhead | clapton working point")
+    print(f"run wall time (null tracer) : {seconds_plain:.3f}s")
+    print(f"spans per run               : {num_spans}")
+    print(f"null span cost              : {per_span * 1e9:.0f} ns")
+    print(f"implied overhead            : {overhead * 100:.4f}% "
+          f"(budget {MAX_OVERHEAD_FRACTION * 100:.0f}%)")
+
+    _emit_bench_json({
+        "bench": "obs_overhead",
+        "seconds_plain": round(seconds_plain, 6),
+        "spans_per_run": num_spans,
+        "null_span_ns": round(per_span * 1e9, 1),
+        "overhead_fraction": round(overhead, 8),
+        "budget_fraction": MAX_OVERHEAD_FRACTION,
+    })
+
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"null-tracer instrumentation costs {overhead * 100:.2f}% of the "
+        f"working-point run ({num_spans} spans x {per_span * 1e9:.0f} ns "
+        f"over {seconds_plain:.2f}s); the no-op path has become too "
+        f"heavy")

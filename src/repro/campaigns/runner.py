@@ -22,9 +22,13 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..execution.executor import Executor, SerialExecutor
+from ..obs import REGISTRY, get_tracer
 from .retry import NO_RETRY, RetryPolicy
 from .spec import CampaignSpec, TaskSpec
 from .store import STATUS_DONE, STATUS_FAILED, ResultStore
+
+_TASK_SECONDS = REGISTRY.histogram(
+    "repro_task_seconds", "Wall time of one campaign task execution")
 
 #: Per-worker memo of exact ground energies keyed by registry benchmark:
 #: a grid sweeps many settings of one Hamiltonian, and the dense
@@ -60,17 +64,22 @@ def execute_task(task_payload: dict) -> dict:
     """
     task = TaskSpec.from_dict(task_payload)
     start = time.perf_counter()
-    try:
-        result = _with_shared_e0(task).run()
-    except Exception:
-        return {
-            "task_id": task.task_id,
-            "status": STATUS_FAILED,
-            "seconds": time.perf_counter() - start,
-            "task": task_payload,
-            "result": None,
-            "error": traceback.format_exc(limit=8),
-        }
+    with get_tracer().span("task.execute", task_id=task.task_id,
+                           benchmark=task.benchmark, method=task.method,
+                           strategy=task.strategy, seed=task.seed):
+        try:
+            result = _with_shared_e0(task).run()
+        except Exception:
+            _TASK_SECONDS.observe(time.perf_counter() - start)
+            return {
+                "task_id": task.task_id,
+                "status": STATUS_FAILED,
+                "seconds": time.perf_counter() - start,
+                "task": task_payload,
+                "result": None,
+                "error": traceback.format_exc(limit=8),
+            }
+    _TASK_SECONDS.observe(time.perf_counter() - start)
     return {
         "task_id": task.task_id,
         "status": STATUS_DONE,
@@ -182,16 +191,22 @@ class CampaignRunner:
         progress = CampaignProgress(total=len(tasks),
                                     skipped=len(tasks) - len(pending))
         executor = self.executor or SerialExecutor()
+        tracer = get_tracer()
         start = time.perf_counter()
         queue, round_number = pending, 1
         while queue:
             delay = retry.delay(round_number)
             if delay > 0:
                 time.sleep(delay)
+                tracer.event("campaign.backoff_idle", delay,
+                             round=round_number)
             failures: list[TaskSpec] = []
-            for wave in _waves(queue, _wave_size(executor)):
-                records = executor.map(execute_task,
-                                       [t.to_dict() for t in wave])
+            for wave_index, wave in enumerate(
+                    _waves(queue, _wave_size(executor))):
+                with tracer.span("campaign.wave", wave=wave_index,
+                                 size=len(wave), round=round_number):
+                    records = executor.map(execute_task,
+                                           [t.to_dict() for t in wave])
                 for task, record in zip(wave, records):
                     record["attempt"] = \
                         self.store.attempts(record["task_id"]) + 1

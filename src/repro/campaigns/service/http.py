@@ -8,7 +8,8 @@ sockets.  One request, one thread; the shared state is lock-protected.
 
 Endpoints::
 
-    GET  /healthz             liveness + campaign count
+    GET  /healthz             liveness + uptime + lease/task counters
+    GET  /metrics             Prometheus text exposition (version 0.0.4)
     GET  /campaigns           registered campaigns and their counts
     POST /campaigns           submit a CampaignSpec JSON (idempotent)
     GET  /status?campaign=ID  progress snapshot (per-strategy counts);
@@ -27,6 +28,7 @@ endpoints are plain GETs so ``curl`` is a usable debugging client.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,8 +36,13 @@ from urllib.parse import parse_qs, urlparse
 
 from .state import ServiceState
 
+logger = logging.getLogger("repro.service.http")
+
 #: Interval of the background lease-expiry ticker and of /status streams.
 TICK_INTERVAL = 0.25
+
+#: Content type of ``GET /metrics`` (Prometheus text exposition).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -44,11 +51,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
 
-    # quiet by default: heartbeats every ttl/3 from every worker would
-    # swamp stderr; ``repro serve --verbose`` turns logging back on
+    # routed through logging, debug-level by default: heartbeats every
+    # ttl/3 from every worker would swamp stderr; ``repro serve -v``
+    # raises the level so access lines show
     def log_message(self, fmt, *args):
-        if getattr(self.server, "verbose", False):
-            super().log_message(fmt, *args)
+        level = (logging.INFO if getattr(self.server, "verbose", False)
+                 else logging.DEBUG)
+        logger.log(level, "%s %s", self.address_string(), fmt % args)
 
     @property
     def state(self) -> ServiceState:
@@ -92,9 +101,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         query = parse_qs(url.query)
         try:
             if url.path == "/healthz":
-                self._send_json({"status": "ok",
-                                 "campaigns": len(self.state.campaigns()),
-                                 "all_done": self.state.all_done})
+                self._send_json(self.state.health())
+            elif url.path == "/metrics":
+                self._send_text(self.state.metrics_text(),
+                                METRICS_CONTENT_TYPE)
             elif url.path == "/campaigns":
                 self._send_json(self.state.status())
             elif url.path == "/status":

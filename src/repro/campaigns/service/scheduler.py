@@ -29,14 +29,39 @@ not measured wall time -- both identical to what a serial
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
+from collections import deque
 from typing import Callable
 
+from ...obs import REGISTRY
 from ..retry import NO_RETRY, RetryPolicy
 from ..spec import CampaignSpec, TaskSpec
 from ..store import STATUS_DONE, ResultStore
 from .leases import Lease, LeaseTable
+
+logger = logging.getLogger("repro.service.scheduler")
+
+_LEASE_GRANTS = REGISTRY.counter(
+    "repro_lease_grants_total", "Task leases granted to workers")
+_LEASE_RENEWALS = REGISTRY.counter(
+    "repro_lease_renewals_total", "Lease renewals via heartbeat")
+_LEASE_EXPIRIES = REGISTRY.counter(
+    "repro_lease_expiries_total",
+    "Leases expired (stolen back from presumed-dead workers)")
+_ZOMBIE_REPORTS = REGISTRY.counter(
+    "repro_lease_zombie_reports_total",
+    "Duplicate reports dropped after a lease was stolen and refilled")
+_TASK_RETRIES = REGISTRY.counter(
+    "repro_task_retries_total", "Failed tasks scheduled for another attempt")
+_TASKS_COMPLETED = REGISTRY.counter(
+    "repro_tasks_completed_total", "Tasks completed successfully")
+_TASKS_FAILED = REGISTRY.counter(
+    "repro_tasks_failed_total", "Tasks parked as permanently failed")
+
+#: Completion timestamps kept for the throughput window (tasks/s, ETA).
+_RATE_WINDOW = 64
 
 #: Default lease lifetime.  Workers heartbeat at ttl / 3, so a healthy
 #: worker never comes within two missed beats of losing its lease.
@@ -88,6 +113,12 @@ class CampaignScheduler:
         #: Backoff gates: task_id -> earliest re-issue time.
         self._not_before: dict[str, float] = {}
         self._stolen = 0
+        #: Throughput bookkeeping: when this scheduler started, how many
+        #: tasks the store already held, and a sliding window of
+        #: completion times (clock units) for the tasks/s estimate.
+        self._started = self.clock()
+        self._initial_done = len(self._completed)
+        self._completion_times: deque[float] = deque(maxlen=_RATE_WINDOW)
 
     # ------------------------------------------------------------------
     # Worker-facing events
@@ -114,6 +145,9 @@ class CampaignScheduler:
                     continue
                 lease = self.leases.lease(tid, worker_id, self.lease_ttl)
                 if lease is not None:
+                    _LEASE_GRANTS.inc()
+                    logger.debug("leased task %s to worker %s", tid,
+                                 worker_id)
                     return self._tasks[tid], lease
             return None
 
@@ -132,6 +166,13 @@ class CampaignScheduler:
                 if self.leases.renew(tid, worker_id,
                                      self.lease_ttl) is not None:
                     renewed.append(tid)
+            if renewed:
+                _LEASE_RENEWALS.inc(len(renewed))
+            lost = set(task_ids) - set(renewed)
+            if lost:
+                logger.info("worker %s heartbeat: %d lease(s) already "
+                            "lost (%s)", worker_id, len(lost),
+                            ", ".join(sorted(lost)))
             return renewed
 
     def report(self, worker_id: str, record: dict) -> bool:
@@ -150,6 +191,10 @@ class CampaignScheduler:
             if tid not in self._tasks or tid in self._completed:
                 if tid is not None:  # zombie still held a stale lease
                     self.leases.release(tid, worker_id)
+                    _ZOMBIE_REPORTS.inc()
+                    logger.info("dropped duplicate report for task %s "
+                                "from worker %s (lease was stolen)", tid,
+                                worker_id)
                 return False
             attempt = self.store.attempts(tid) + 1
             record = dict(record)
@@ -161,11 +206,23 @@ class CampaignScheduler:
             if record["status"] == STATUS_DONE:
                 self._completed.add(tid)
                 self._not_before.pop(tid, None)
+                self._completion_times.append(self.clock())
+                _TASKS_COMPLETED.inc()
+                logger.debug("task %s done by worker %s (attempt %d)",
+                             tid, worker_id, attempt)
             elif self.retry.exhausted(attempt):
                 self._failed_final.add(tid)
+                _TASKS_FAILED.inc()
+                logger.warning("task %s permanently failed after %d "
+                               "attempt(s) (worker %s)", tid, attempt,
+                               worker_id)
             else:
-                self._not_before[tid] = (self.clock()
-                                         + self.retry.delay(attempt + 1))
+                backoff = self.retry.delay(attempt + 1)
+                self._not_before[tid] = self.clock() + backoff
+                _TASK_RETRIES.inc()
+                logger.warning("task %s failed (attempt %d, worker %s); "
+                               "retrying after %.1fs", tid, attempt,
+                               worker_id, backoff)
             return True
 
     # ------------------------------------------------------------------
@@ -178,6 +235,10 @@ class CampaignScheduler:
             for lease in self.leases.expired(now):
                 self.leases.expire(lease.task_id)
                 stolen.append(lease.task_id)
+                _LEASE_EXPIRIES.inc()
+                logger.warning("lease on task %s expired (worker %s "
+                               "presumed dead); task back to pending",
+                               lease.task_id, lease.worker_id)
             self._stolen += len(stolen)
             return stolen
 
@@ -209,9 +270,26 @@ class CampaignScheduler:
                     row["failed"] += 1
                 else:
                     row["pending"] += 1
+            # Throughput over the recent-completions window, falling back
+            # to the whole-run average; both guard against a frozen or
+            # injected clock (tests), where rate stays unknown (None).
+            now = self.clock()
+            window = self._completion_times
+            rate = None
+            if len(window) >= 2 and window[-1] > window[0]:
+                rate = (len(window) - 1) / (window[-1] - window[0])
+            elif done > self._initial_done and now > self._started:
+                rate = (done - self._initial_done) / (now - self._started)
+            pending = total - done - failed
+            if pending == 0:
+                eta = 0.0
+            elif rate:
+                eta = pending / rate
+            else:
+                eta = None
             return {
                 "total": total, "done": done, "failed": failed,
-                "pending": total - done - failed,
+                "pending": pending,
                 "leased": len(self.leases),
                 "backing_off": sum(
                     1 for tid, t in self._not_before.items()
@@ -219,6 +297,9 @@ class CampaignScheduler:
                     and tid not in self._completed
                     and tid not in self._failed_final),
                 "leases_stolen": self._stolen,
+                "tasks_per_second": (None if rate is None
+                                     else round(rate, 4)),
+                "eta_seconds": None if eta is None else round(eta, 1),
                 "strategies": per_strategy,
             }
 

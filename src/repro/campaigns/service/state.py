@@ -23,11 +23,22 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from ...obs import REGISTRY, render_prometheus
 from ..report import render_report
 from ..retry import NO_RETRY, RetryPolicy
 from ..spec import CampaignSpec
 from ..store import ResultStore
 from .scheduler import DEFAULT_LEASE_TTL, CampaignScheduler
+
+#: Registry counters surfaced in ``/healthz`` (short key -> metric name).
+_HEALTH_COUNTERS = {
+    "lease_grants": "repro_lease_grants_total",
+    "lease_renewals": "repro_lease_renewals_total",
+    "lease_expiries": "repro_lease_expiries_total",
+    "tasks_completed": "repro_tasks_completed_total",
+    "tasks_failed": "repro_tasks_failed_total",
+    "task_retries": "repro_task_retries_total",
+}
 
 
 def campaign_id(spec: CampaignSpec) -> str:
@@ -181,6 +192,45 @@ class ServiceState:
     def status(self) -> dict:
         return {"uptime_seconds": self.clock() - self.started,
                 "campaigns": [c.status() for c in self.campaigns()]}
+
+    def health(self) -> dict:
+        """``/healthz`` payload: liveness plus lease/task counter totals.
+
+        Counter totals come from the process-wide metric registry, so
+        they cover every campaign this process has served (including
+        closed ones) -- a cheap aggregate view for load balancers and
+        smoke tests; ``/metrics`` has the full labelled breakdown.
+        """
+        counters = {}
+        for key, name in _HEALTH_COUNTERS.items():
+            metric = REGISTRY.get(name)
+            counters[key] = 0 if metric is None else int(metric.total())
+        return {"status": "ok",
+                "campaigns": len(self.campaigns()),
+                "all_done": self.all_done,
+                "uptime_seconds": round(self.clock() - self.started, 3),
+                "counters": counters}
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``.
+
+        Renders the process-wide registry, refreshing the service-level
+        gauges first: uptime and one ``repro_campaign_tasks`` series per
+        (campaign, state) so dashboards can plot per-campaign progress
+        without parsing ``/status`` JSON.
+        """
+        uptime = REGISTRY.gauge(
+            "repro_uptime_seconds", "Seconds since this service started")
+        uptime.set(self.clock() - self.started)
+        tasks = REGISTRY.gauge(
+            "repro_campaign_tasks",
+            "Campaign task counts by state (done/failed/pending/leased)")
+        for campaign in self.campaigns():
+            counts = campaign.scheduler.counts()
+            for state in ("done", "failed", "pending", "leased"):
+                tasks.set(counts[state], campaign=campaign.id,
+                          state=state)
+        return render_prometheus(REGISTRY)
 
     @property
     def all_done(self) -> bool:

@@ -25,6 +25,7 @@ bounded retries instead of dying on the first connection error.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
@@ -34,7 +35,15 @@ from typing import Callable, Protocol
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
+from ...obs import REGISTRY, get_tracer
 from ..runner import execute_task
+
+logger = logging.getLogger("repro.service.worker")
+
+_WORKER_TASKS = REGISTRY.counter(
+    "repro_worker_tasks_total", "Tasks executed by this worker process")
+_HEARTBEAT_SECONDS = REGISTRY.histogram(
+    "repro_heartbeat_seconds", "Heartbeat round-trip latency")
 
 
 def default_worker_id() -> str:
@@ -128,7 +137,12 @@ class _Heartbeat:
         self._thread.start()
 
     def _client_beat(self):
+        start = time.perf_counter()
         self._client.heartbeat(self._worker_id, self._leases)
+        dt = time.perf_counter() - start
+        _HEARTBEAT_SECONDS.observe(dt)
+        get_tracer().event("worker.heartbeat", dt,
+                           task_id=self._leases[0]["task_id"])
 
     def stop(self):
         self._stop.set()
@@ -163,6 +177,7 @@ def run_worker(client: SchedulerClient,
     executed = 0
     connect_failures = 0
     notify = on_event or (lambda kind, payload: None)
+    tracer = get_tracer()
     while True:
         try:
             grant = client.lease(worker_id)
@@ -170,25 +185,39 @@ def run_worker(client: SchedulerClient,
         except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
             connect_failures += 1
             if connect_failures >= max_connect_failures:
+                logger.error("worker %s giving up after %d consecutive "
+                             "connect failures: %s", worker_id,
+                             connect_failures, exc)
                 raise
+            logger.warning("worker %s cannot reach scheduler (%s); "
+                           "retry %d/%d", worker_id, exc,
+                           connect_failures, max_connect_failures)
             notify("lost", {"error": str(exc),
                             "failures": connect_failures})
             sleep(poll_interval)
+            tracer.event("worker.idle", poll_interval, reason="lost")
             continue
         if grant.get("task") is None:
             if exit_on_idle and grant.get("done"):
+                logger.info("worker %s: all campaigns done after %d "
+                            "task(s); exiting", worker_id, executed)
                 return executed
             notify("idle", grant)
             sleep(poll_interval)
+            tracer.event("worker.idle", poll_interval, reason="no_task")
             continue
         campaign = grant.get("campaign")
         task_id = grant.get("task_id")
+        logger.info("worker %s leased task %s (campaign %s)", worker_id,
+                    task_id, campaign)
         notify("lease", grant)
         # heartbeat at a third of the ttl: two missed beats of slack
         interval = max(0.05, float(grant.get("ttl") or 30.0) / 3.0)
         heart = _Heartbeat(client, worker_id, campaign, task_id, interval)
         try:
-            record = execute_task(grant["task"])
+            with tracer.span("worker.task", task_id=task_id,
+                             campaign=campaign, worker=worker_id):
+                record = execute_task(grant["task"])
         finally:
             heart.stop()
         try:
@@ -196,10 +225,18 @@ def run_worker(client: SchedulerClient,
         except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
             # the record is lost but the work is not: the lease expires
             # and another worker recomputes the identical record
+            logger.warning("worker %s could not report task %s (%s); "
+                           "lease will expire and the task will be "
+                           "recomputed", worker_id, task_id, exc)
             notify("lost", {"error": str(exc), "task_id": task_id})
             sleep(poll_interval)
             continue
         executed += 1
+        _WORKER_TASKS.inc()
+        logger.info("worker %s finished task %s (status %s)", worker_id,
+                    task_id, record.get("status"))
         notify("record", {"record": record, "ack": ack})
         if max_tasks is not None and executed >= max_tasks:
+            logger.info("worker %s reached max_tasks=%d; exiting",
+                        worker_id, max_tasks)
             return executed

@@ -33,6 +33,47 @@ import argparse
 import sys
 
 
+def _setup_logging(verbosity: int, label: str | None = None) -> None:
+    """Root logging config for the service verbs (``-v``/``-q`` counts).
+
+    0 is quiet (warnings only); each ``-v`` raises the level, each
+    ``-q`` lowers it.  ``label`` (the worker id) lands in every line so
+    interleaved multi-worker logs stay attributable.
+    """
+    import logging
+
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    tag = f" [{label}]" if label else ""
+    logging.basicConfig(
+        level=level,
+        format=f"%(asctime)s %(levelname).1s %(name)s{tag}: %(message)s",
+        datefmt="%H:%M:%S")
+
+
+def _trace_context(trace: str | None, default_path) -> tuple:
+    """``--trace`` value -> ``(context manager, path or None)``.
+
+    ``--trace`` with no argument resolves to ``default_path`` (beside
+    the campaign store where there is one); omitted entirely, tracing
+    stays the no-op default.
+    """
+    from contextlib import nullcontext
+
+    if trace is None:
+        return nullcontext(None), None
+    from .obs import JsonlTracer, use_tracer
+
+    path = str(default_path) if trace == "auto" else trace
+    return use_tracer(JsonlTracer(path)), path
+
+
 def _cmd_list(args) -> int:
     from .hamiltonians import paper_benchmarks
 
@@ -196,16 +237,25 @@ def _cmd_run(args) -> int:
                             name=args.benchmark)
     config = replace(bench_engine(), seed=args.seed,
                      **_engine_overrides(args))
+    ctx, trace_path = _trace_context(args.trace, "trace.jsonl")
     try:
-        result = experiment.run(methods=tuple(methods),
-                                config=config,
-                                vqe_iterations=args.vqe_iterations,
-                                seed=args.seed,
-                                executor=executor,
-                                strategy=strategy)
+        with ctx:
+            from .obs import get_tracer
+
+            with get_tracer().span("cli.run", benchmark=args.benchmark,
+                                   strategy=strategy, seed=args.seed):
+                result = experiment.run(methods=tuple(methods),
+                                        config=config,
+                                        vqe_iterations=args.vqe_iterations,
+                                        seed=args.seed,
+                                        executor=executor,
+                                        strategy=strategy)
     finally:
         if executor is not None:
             executor.close()
+    if trace_path is not None:
+        print(f"trace written to {trace_path} "
+              f"(repro trace summary {trace_path})")
     print(f"E0              = {result.e0:.6f}")
     for method in methods:
         run = result.runs[method]
@@ -372,8 +422,15 @@ def _cmd_sweep(args) -> int:
         return 2
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     runner = CampaignRunner(spec, store, executor=executor)
+    ctx, trace_path = _trace_context(args.trace,
+                                     store_path / "trace.jsonl")
     try:
-        progress = runner.run(on_record=on_record, retry=retry)
+        with ctx:
+            from .obs import get_tracer
+
+            with get_tracer().span("cli.sweep", campaign=spec.name,
+                                   tasks=total, jobs=args.jobs):
+                progress = runner.run(on_record=on_record, retry=retry)
     finally:
         store.close()
         if executor is not None:
@@ -383,6 +440,9 @@ def _cmd_sweep(args) -> int:
     print(f"done: {counts['done']}/{counts['total']} "
           f"({counts['failed']} failed, {progress.skipped} skipped"
           f"{retried}, {progress.seconds:.1f}s)")
+    if trace_path is not None:
+        print(f"trace written to {trace_path} "
+              f"(repro trace summary {trace_path})")
     print(f"next: repro report {store_path}")
     return 0 if counts["failed"] == 0 else 1
 
@@ -414,7 +474,100 @@ def _print_strategy_progress(store) -> None:
               f"{failed[strategy]} failed, {pending} pending")
 
 
+def _status_line(snapshot: dict) -> str:
+    """One progress line with throughput and ETA columns.
+
+    ``tasks_per_second`` / ``eta_seconds`` are ``None`` until the
+    scheduler has seen enough completions to estimate them; render a
+    dash rather than a bogus number.
+    """
+    rate = snapshot.get("tasks_per_second")
+    eta = snapshot.get("eta_seconds")
+    rate_col = "-" if rate is None else f"{rate:.2f}/s"
+    eta_col = "-" if eta is None else f"{eta:.0f}s"
+    return (f"{snapshot['done']}/{snapshot['total']} done, "
+            f"{snapshot['failed']} failed, "
+            f"{snapshot['leased']} leased, "
+            f"{rate_col}, eta {eta_col}")
+
+
+def _remote_status(args) -> int:
+    """``repro status --connect URL``: snapshot, stream, or poll."""
+    import json as jsonlib
+    import time
+    from urllib import request as urlrequest
+    from urllib.error import HTTPError, URLError
+    from urllib.parse import urlencode
+
+    base = args.connect.rstrip("/")
+
+    def status_url(stream: bool = False) -> str:
+        query = {}
+        if args.campaign:
+            query["campaign"] = args.campaign
+        if stream:
+            query["stream"] = "1"
+        return (base + "/status"
+                + ("?" + urlencode(query) if query else ""))
+
+    def fetch(url: str) -> dict:
+        with urlrequest.urlopen(url, timeout=30.0) as resp:
+            return jsonlib.loads(resp.read().decode())
+
+    try:
+        if not args.watch:
+            snapshot = fetch(status_url())
+            print(f"campaign  {snapshot['campaign']} "
+                  f"({snapshot['name']})")
+            print(f"progress  {_status_line(snapshot)}")
+            return 0
+        if not args.no_stream:
+            # server-pushed NDJSON snapshots until the campaign is done
+            with urlrequest.urlopen(status_url(stream=True),
+                                    timeout=60.0) as resp:
+                last = None
+                for raw in resp:
+                    snapshot = jsonlib.loads(raw.decode())
+                    line = _status_line(snapshot)
+                    if line != last:
+                        print(line)
+                        last = line
+            return 0
+        # poll fallback: plain GETs on an interval (proxies that buffer
+        # chunked responses, or a server without streaming)
+        last = None
+        while True:
+            snapshot = fetch(status_url())
+            line = _status_line(snapshot)
+            if line != last:
+                print(line)
+                last = line
+            if snapshot.get("complete"):
+                return 0
+            time.sleep(args.interval)
+    except HTTPError as exc:
+        try:
+            detail = jsonlib.loads(exc.read().decode()).get("error", "")
+        except (ValueError, OSError):
+            detail = ""
+        print(f"server rejected the request: {exc.code} {detail}",
+              file=sys.stderr)
+        return 2
+    except (URLError, ConnectionError, TimeoutError) as exc:
+        print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_status(args) -> int:
+    if args.connect:
+        return _remote_status(args)
+    if not args.store:
+        print("a campaign store directory (or --connect URL) is "
+              "required", file=sys.stderr)
+        return 2
     store = _open_store(args.store)
     if store is None:
         return 2
@@ -481,6 +634,7 @@ def _load_spec_payload(path: str) -> dict | None:
 def _cmd_serve(args) -> int:
     import threading
     import time
+    from pathlib import Path
 
     from .campaigns import RetryPolicy
     from .campaigns.service import (
@@ -490,6 +644,7 @@ def _cmd_serve(args) -> int:
         start_server,
     )
 
+    _setup_logging(args.verbose - args.quiet)
     try:
         retry = RetryPolicy(max_attempts=args.max_attempts,
                             backoff_base=args.backoff)
@@ -521,43 +676,49 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
             return 2
         print(f"campaign {campaign.id}: attached from {store_path}")
-    server = start_server(state, host=args.host, port=args.port,
-                          verbose=args.verbose)
-    print(f"serving at {server.url} (lease ttl {args.lease_ttl:g}s, "
-          f"max attempts {args.max_attempts}, root {args.root})")
-    worker_threads = []
-    client = LocalSchedulerClient(state)
-    for i in range(args.local_workers):
-        thread = threading.Thread(
-            target=run_worker, args=(client,),
-            kwargs={"worker_id": f"local-{i}", "poll_interval": 0.2,
-                    "exit_on_idle": args.until_done},
-            daemon=True, name=f"local-worker-{i}")
-        thread.start()
-        worker_threads.append(thread)
-    if worker_threads:
-        print(f"{len(worker_threads)} local worker(s) attached")
-    try:
-        if args.until_done:
-            while not state.all_done:
-                time.sleep(0.2)
-            for thread in worker_threads:
-                thread.join(timeout=10)
-            failed = 0
-            for campaign in state.campaigns():
-                status = campaign.status()
-                failed += status["failed"]
-                print(f"campaign {campaign.id}: {status['done']}/"
-                      f"{status['total']} done, {status['failed']} "
-                      f"failed, {status['leases_stolen']} leases stolen")
-            return 0 if failed == 0 else 1
-        while True:  # serve forever; ctrl-C (or a signal) stops us
-            time.sleep(1.0)
-    except KeyboardInterrupt:
-        print("\nshutting down")
-        return 0
-    finally:
-        server.stop()
+    ctx, trace_path = _trace_context(args.trace,
+                                     Path(args.root) / "trace.jsonl")
+    with ctx:
+        server = start_server(state, host=args.host, port=args.port,
+                              verbose=args.verbose > 0)
+        print(f"serving at {server.url} (lease ttl {args.lease_ttl:g}s, "
+              f"max attempts {args.max_attempts}, root {args.root})")
+        if trace_path is not None:
+            print(f"tracing to {trace_path}")
+        worker_threads = []
+        client = LocalSchedulerClient(state)
+        for i in range(args.local_workers):
+            thread = threading.Thread(
+                target=run_worker, args=(client,),
+                kwargs={"worker_id": f"local-{i}", "poll_interval": 0.2,
+                        "exit_on_idle": args.until_done},
+                daemon=True, name=f"local-worker-{i}")
+            thread.start()
+            worker_threads.append(thread)
+        if worker_threads:
+            print(f"{len(worker_threads)} local worker(s) attached")
+        try:
+            if args.until_done:
+                while not state.all_done:
+                    time.sleep(0.2)
+                for thread in worker_threads:
+                    thread.join(timeout=10)
+                failed = 0
+                for campaign in state.campaigns():
+                    status = campaign.status()
+                    failed += status["failed"]
+                    print(f"campaign {campaign.id}: {status['done']}/"
+                          f"{status['total']} done, {status['failed']} "
+                          f"failed, {status['leases_stolen']} leases "
+                          f"stolen")
+                return 0 if failed == 0 else 1
+            while True:  # serve forever; ctrl-C (or a signal) stops us
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+            return 0
+        finally:
+            server.stop()
 
 
 def _cmd_worker(args) -> int:
@@ -571,6 +732,7 @@ def _cmd_worker(args) -> int:
 
     client = HttpSchedulerClient(args.connect)
     worker_id = args.worker_id or default_worker_id()
+    _setup_logging(args.verbose - args.quiet, label=worker_id)
     print(f"worker {worker_id} -> {args.connect}")
 
     def on_event(kind, payload):
@@ -586,12 +748,15 @@ def _cmd_worker(args) -> int:
             print(f"  server unreachable: {payload['error']}",
                   file=sys.stderr)
 
+    ctx, trace_path = _trace_context(args.trace,
+                                     f"trace-{worker_id}.jsonl")
     try:
-        executed = run_worker(client, worker_id,
-                              poll_interval=args.poll,
-                              exit_on_idle=args.exit_on_idle,
-                              max_tasks=args.max_tasks,
-                              on_event=on_event)
+        with ctx:
+            executed = run_worker(client, worker_id,
+                                  poll_interval=args.poll,
+                                  exit_on_idle=args.exit_on_idle,
+                                  max_tasks=args.max_tasks,
+                                  on_event=on_event)
     except (URLError, ConnectionError, TimeoutError) as exc:
         print(f"worker {worker_id}: lost the scheduler at "
               f"{args.connect}: {exc}", file=sys.stderr)
@@ -599,6 +764,8 @@ def _cmd_worker(args) -> int:
     except KeyboardInterrupt:
         print(f"\nworker {worker_id}: interrupted")
         return 0
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
     print(f"worker {worker_id}: {executed} task(s) executed")
     return 0
 
@@ -659,6 +826,46 @@ def _cmd_submit(args) -> int:
         f"{base}/report?campaign={cid}", timeout=30.0).read().decode()
     print(report, end="")
     return 0 if status["failed"] == 0 else 1
+
+
+def _cmd_trace_summary(args) -> int:
+    from .obs import render_summary, summarize
+
+    try:
+        summary = summarize(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    if summary.num_spans == 0:
+        print(f"no spans in {args.trace}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(render_summary(summary, max_depth=args.depth), end="")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from urllib import request as urlrequest
+    from urllib.error import URLError
+
+    url = args.connect.rstrip("/") + "/metrics"
+    try:
+        with urlrequest.urlopen(url, timeout=30.0) as resp:
+            text = resp.read().decode()
+    except (URLError, ConnectionError, TimeoutError) as exc:
+        print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    if args.name:
+        # keep a family's HELP/TYPE header with its samples
+        lines = [line for line in text.splitlines()
+                 if args.name in line]
+        text = "\n".join(lines) + ("\n" if lines else "")
+    print(text, end="")
+    return 0
 
 
 def _add_engine_flags(parser) -> None:
@@ -730,6 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0,
                        help="engine + VQE seed (same seed, same numbers)")
     p_run.add_argument("--save", help="write the ExperimentResult JSON here")
+    p_run.add_argument("--trace", nargs="?", const="auto", metavar="PATH",
+                       help="record a span trace to PATH "
+                            "(default: ./trace.jsonl)")
     _add_engine_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
@@ -753,6 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--backoff", type=float, default=0.5,
                          help="seconds before the first retry (doubles "
                               "per further attempt)")
+    p_sweep.add_argument("--trace", nargs="?", const="auto",
+                         metavar="PATH",
+                         help="record a span trace to PATH (default: "
+                              "<store>/trace.jsonl)")
     _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
@@ -789,8 +1003,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit (status 0/1) once every registered "
                               "campaign completes, instead of serving "
                               "forever")
-    p_serve.add_argument("--verbose", action="store_true",
-                         help="log every HTTP request")
+    p_serve.add_argument("-v", "--verbose", action="count", default=0,
+                         help="more logging (-v requests and lease "
+                              "events, -vv debug)")
+    p_serve.add_argument("-q", "--quiet", action="count", default=0,
+                         help="less logging (errors only)")
+    p_serve.add_argument("--trace", nargs="?", const="auto",
+                         metavar="PATH",
+                         help="record a span trace to PATH (default: "
+                              "<root>/trace.jsonl)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_worker = sub.add_parser(
@@ -807,6 +1028,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "campaign complete")
     p_worker.add_argument("--max-tasks", type=int, default=None,
                           help="stop after this many task executions")
+    p_worker.add_argument("-v", "--verbose", action="count", default=0,
+                          help="more logging (-v lease/task events, "
+                               "-vv debug)")
+    p_worker.add_argument("-q", "--quiet", action="count", default=0,
+                          help="less logging (errors only)")
+    p_worker.add_argument("--trace", nargs="?", const="auto",
+                          metavar="PATH",
+                          help="record a span trace to PATH (default: "
+                               "trace-<worker-id>.jsonl)")
     p_worker.set_defaults(fn=_cmd_worker)
 
     p_submit = sub.add_parser(
@@ -821,9 +1051,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds between --watch status polls")
     p_submit.set_defaults(fn=_cmd_submit)
 
-    p_status = sub.add_parser("status", help="campaign store progress")
-    p_status.add_argument("store", help="campaign store directory")
+    p_status = sub.add_parser(
+        "status", help="campaign progress (local store or live service)")
+    p_status.add_argument("store", nargs="?",
+                          help="campaign store directory (omit with "
+                               "--connect)")
+    p_status.add_argument("--connect", metavar="URL",
+                          help="query a running `repro serve` instead "
+                               "of a local store")
+    p_status.add_argument("--campaign", metavar="ID",
+                          help="campaign id on the server (optional "
+                               "when only one is registered)")
+    p_status.add_argument("--watch", action="store_true",
+                          help="with --connect: follow progress until "
+                               "the campaign completes")
+    p_status.add_argument("--interval", type=float, default=1.0,
+                          help="seconds between --watch polls "
+                               "(poll mode only)")
+    p_status.add_argument("--no-stream", action="store_true",
+                          help="with --watch: poll with repeated GETs "
+                               "instead of the NDJSON stream")
     p_status.set_defaults(fn=_cmd_status)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect span traces recorded with --trace")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    p_tsum = trace_sub.add_parser(
+        "summary", help="hierarchical time breakdown of a trace.jsonl")
+    p_tsum.add_argument("trace", help="trace.jsonl file")
+    p_tsum.add_argument("--json", action="store_true",
+                        help="machine-readable summary instead of tables")
+    p_tsum.add_argument("--depth", type=int, default=6,
+                        help="max span-tree depth shown")
+    p_tsum.set_defaults(fn=_cmd_trace_summary)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape /metrics from a running `repro serve`")
+    p_metrics.add_argument("--connect", required=True, metavar="URL",
+                           help="base URL of a running `repro serve`")
+    p_metrics.add_argument("--name", metavar="SUBSTR",
+                           help="only lines containing this substring")
+    p_metrics.set_defaults(fn=_cmd_metrics)
 
     p_report = sub.add_parser(
         "report", help="markdown figure tables from a campaign store")

@@ -23,8 +23,15 @@ import numpy as np
 
 from ..circuits.ansatz import cafqa_angles
 from ..noise.clifford_model import CliffordCircuitPlan, CliffordNoiseModel
+from ..obs import REGISTRY, get_tracer
 from .problem import VQEProblem
 from .transformation import embed_table, transform_table, transform_table_many
+
+_LOSS_BATCHES = REGISTRY.counter(
+    "repro_loss_batches_total", "Batched loss evaluate_many calls")
+_LOSS_EVALS = REGISTRY.counter(
+    "repro_loss_evaluations_total",
+    "Genomes evaluated through batched losses")
 
 
 class ClaptonLoss:
@@ -95,7 +102,13 @@ class ClaptonLoss:
 
     def evaluate_many(self, gammas) -> np.ndarray:
         """``(P,)`` losses of a genome population in one batched pass."""
-        noisy, noiseless = self.components_many(gammas)
+        gammas = np.asarray(gammas, dtype=np.int64)
+        with get_tracer().span("loss.evaluate_many", loss="clapton",
+                               batch=len(gammas),
+                               qubits=self.problem.num_logical_qubits):
+            noisy, noiseless = self.components_many(gammas)
+        _LOSS_BATCHES.inc()
+        _LOSS_EVALS.inc(len(gammas))
         return self.noisy_weight * noisy + self.noiseless_weight * noiseless
 
 
@@ -200,7 +213,15 @@ class CafqaLoss:
 
     def evaluate_many(self, genomes) -> np.ndarray:
         """``(P,)`` losses of a genome population in one batched pass."""
-        noisy, noiseless = self.components_many(genomes)
+        genomes = np.asarray(genomes, dtype=np.int64)
+        with get_tracer().span(
+                "loss.evaluate_many",
+                loss="ncafqa" if self.noise_aware else "cafqa",
+                batch=len(genomes),
+                qubits=self.problem.num_logical_qubits):
+            noisy, noiseless = self.components_many(genomes)
+        _LOSS_BATCHES.inc()
+        _LOSS_EVALS.inc(len(genomes))
         return noisy + noiseless
 
 

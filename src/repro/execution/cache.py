@@ -20,6 +20,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import REGISTRY
+
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "MemoizedLoss lookups served from the table")
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total", "MemoizedLoss lookups dispatched to the loss")
+_CACHE_DEDUP = REGISTRY.counter(
+    "repro_cache_dedup_total",
+    "Within-batch duplicate genomes collapsed by evaluate_many")
+
 
 def genome_key(genome) -> bytes:
     """Canonical dict key of an integer genome (shared with the GA)."""
@@ -45,16 +55,19 @@ class MemoizedLoss:
         self.cache: dict[bytes, float] = {} if cache is None else cache
         self.hits = 0
         self.misses = 0
+        self.dedups = 0
 
     def __call__(self, genome) -> float:
         key = genome_key(genome)
         hit = self.cache.get(key)
         if hit is not None:
             self.hits += 1
+            _CACHE_HITS.inc()
             return hit
         value = float(self.loss_fn(genome))
         self.cache[key] = value
         self.misses += 1
+        _CACHE_MISSES.inc()
         return value
 
     def evaluate_many(self, genomes) -> np.ndarray:
@@ -79,9 +92,12 @@ class MemoizedLoss:
             if hit is not None:
                 out[i] = hit
                 self.hits += 1
+                _CACHE_HITS.inc()
             elif key in miss_rows:
                 miss_rows[key].append(i)
                 self.hits += 1
+                self.dedups += 1
+                _CACHE_DEDUP.inc()
             else:
                 miss_rows[key] = [i]
                 miss_keys.append(key)
@@ -100,7 +116,16 @@ class MemoizedLoss:
                 self.cache[key] = float(value)
                 self.misses += 1
                 out[miss_rows[key]] = value
+            _CACHE_MISSES.inc(len(miss_keys))
         return out
+
+    def stats(self) -> dict[str, int]:
+        """This wrapper's own hit/miss/dedup accounting, for surfacing
+        into :class:`~repro.search.base.SearchResult` and campaign
+        records (``dedups`` is the within-batch-duplicate subset of
+        ``hits``)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "dedups": self.dedups, "entries": len(self.cache)}
 
     def __len__(self) -> int:
         return len(self.cache)
@@ -122,6 +147,7 @@ class MemoizedLoss:
         self.cache = state["cache"]
         self.hits = 0
         self.misses = 0
+        self.dedups = 0
 
 
 def memoize_loss(loss_fn: Callable[[np.ndarray], float],

@@ -57,6 +57,10 @@ class SerialExecutor:
     """Run every item inline, in submission order."""
 
     in_process_sequential = True
+    #: Workers share the caller's process (tracer, metric registry,
+    #: memo counters).  Not part of the Executor protocol; consumers use
+    #: ``getattr(executor, "in_process", True)``.
+    in_process = True
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         return [fn(item) for item in items]
@@ -111,6 +115,8 @@ class _PoolExecutor:
 class ThreadExecutor(_PoolExecutor):
     """Fan items out over a lazily created thread pool."""
 
+    in_process = True
+
     def _make_pool(self):
         from concurrent.futures import ThreadPoolExecutor
 
@@ -123,6 +129,8 @@ class ProcessExecutor(_PoolExecutor):
     Work items and results must be picklable; every loss object and job
     tuple the engine produces is.
     """
+
+    in_process = False
 
     def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor

@@ -67,6 +67,10 @@ class MethodRun:
             with their own search shape).
         search_trace: Per-round :class:`~repro.search.SearchTrace`
             payloads, in execution order.
+        cache_stats: Memo-table accounting of the search (``hits`` /
+            ``misses`` / ``dedups`` / ``entries``), aggregated across
+            process workers; ``None`` for methods without a search phase
+            or payloads that predate the field.
     """
 
     method: str
@@ -80,6 +84,7 @@ class MethodRun:
     vqe: VQETrace | None = None
     strategy: str = "multi_ga"
     search_trace: list = field(default_factory=list)
+    cache_stats: dict | None = None
 
     def to_dict(self) -> dict:
         ev = self.evaluation
@@ -99,6 +104,8 @@ class MethodRun:
             "seconds": self.seconds,
             "strategy": self.strategy,
             "search_trace": [dict(t) for t in self.search_trace],
+            "cache_stats": (None if self.cache_stats is None
+                            else dict(self.cache_stats)),
             "vqe": None,
         }
         if self.vqe is not None:
@@ -146,6 +153,7 @@ class MethodRun:
             # pre-strategy-axis payloads lack these keys
             strategy=data.get("strategy", "multi_ga"),
             search_trace=list(data.get("search_trace") or []),
+            cache_stats=data.get("cache_stats"),
         )
 
 
@@ -371,6 +379,8 @@ class Experiment:
                           else "multi_ga"),
                 search_trace=(search.trace_dicts() if search is not None
                               else []),
+                cache_stats=(search.cache_stats if search is not None
+                             else None),
             )
         return ExperimentResult(
             benchmark=self.name,

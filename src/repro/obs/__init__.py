@@ -1,0 +1,100 @@
+"""``repro.obs`` -- dependency-free tracing + metrics for every layer.
+
+Architecture
+============
+
+Two independent, always-importable substrates:
+
+**Spans** (:mod:`repro.obs.tracer`).  One *current tracer* per process,
+``NullTracer`` by default, so instrumentation is a no-op until a sink
+is installed (``repro ... --trace PATH`` installs a
+:class:`JsonlTracer` writing ``trace.jsonl`` beside the campaign's
+``ResultStore``).  Spans are context managers on the monotonic clock,
+nested through per-thread stacks, tagged with batch sizes / qubit
+counts / strategy names; ``tracer.event(name, seconds)`` adopts
+externally-timed work (process-pool shards, heartbeat round trips,
+idle sleeps) into the current span.  The span vocabulary, bottom up::
+
+    loss.evaluate_many      one batched loss call       (loss_eval)
+    loss.shard              one executor shard, in-worker timed
+    executor.map_shards     the parent's scatter/gather wait
+    engine.round            one engine round (tags: evaluations, best)
+    search.round            one strategy round loop iteration
+    search.minimize         a whole SearchStrategy.minimize call
+    task.execute            one campaign task (tags: task_id, method)
+    campaign.wave           one runner wave over the executor
+    worker.task             one leased task on a service worker
+    worker.heartbeat        one heartbeat round trip
+    worker.idle             an idle poll sleep             (idle)
+    cli.run / cli.sweep...  the root span for a CLI verb
+
+``repro trace summary`` (:mod:`repro.obs.summary`) rebuilds the tree
+and buckets per-span *self time* into loss-eval vs orchestration vs
+idle -- for a serial sweep the buckets partition wall-clock exactly.
+
+**Metrics** (:mod:`repro.obs.metrics`).  A process-wide
+:data:`REGISTRY` of ``Counter`` / ``Gauge`` / ``Histogram`` families,
+registered idempotently at import time by the modules that increment
+them (cache hits, lease lifecycle, task outcomes, heartbeat latency).
+Metrics are cheap and always on; the service renders the registry as
+Prometheus text exposition at ``GET /metrics``.
+
+Invariants
+==========
+
+- Observability **never** touches RNG streams or record contents:
+  traced runs are bit-identical to untraced runs (tier-1 goldens run
+  with tracing enabled).
+- No third-party dependencies; stdlib only.
+- Process-pool children fall back to the null tracer; their timings
+  are returned to the parent and re-emitted as events, and their cache
+  counters are aggregated explicitly (``EngineResult.cache_stats``).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    REGISTRY,
+    render_prometheus,
+)
+from .summary import (
+    TraceSummary,
+    bucket_of,
+    load_trace,
+    render_summary,
+    summarize,
+    summarize_spans,
+)
+from .tracer import (
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "REGISTRY",
+    "render_prometheus",
+    "TraceSummary",
+    "bucket_of",
+    "load_trace",
+    "render_summary",
+    "summarize",
+    "summarize_spans",
+    "JsonlTracer",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

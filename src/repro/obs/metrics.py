@@ -1,0 +1,255 @@
+"""Process-wide metric registry: Counter / Gauge / Histogram.
+
+Metrics are cheap enough to stay always-on (a dict update behind a
+lock per increment), so instrumented code increments them
+unconditionally -- only span *recording* is gated on an active tracer.
+Families are registered idempotently: ``REGISTRY.counter(name, help)``
+returns the existing family when called twice, so modules can declare
+the metrics they touch at import time without coordination.
+
+Label sets are encoded as sorted ``(key, value)`` tuples, one sample
+per distinct label set, matching the Prometheus data model.
+:func:`render_prometheus` emits the text exposition format (version
+0.0.4) that ``GET /metrics`` serves.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets (seconds): sub-millisecond through minutes,
+#: wide enough for both heartbeat round trips and whole-task durations.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(key: tuple, extra: tuple = ()) -> str:
+    items = tuple(key) + tuple(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets (0.0 when never incremented)."""
+        with self._lock:
+            return sum(self._samples.values())
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def _render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(self._samples.items())
+        if not samples:
+            samples = [((), 0.0)]
+        return [f"{self.name}{_format_labels(key)} {_format_value(v)}"
+                for key, v in samples]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (set/add)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observations (seconds by default)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        # per label set: [bucket counts..., +Inf count], sum
+        self._samples: dict[tuple, tuple[list, float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts, total = self._samples.get(
+                key, ([0] * (len(self.buckets) + 1), 0.0))
+            for i, upper in enumerate(self.buckets):
+                if value <= upper:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._samples[key] = (counts, total + value)
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            sample = self._samples.get(_label_key(labels))
+            return sum(sample[0]) if sample else 0
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            sample = self._samples.get(_label_key(labels))
+            return sample[1] if sample else 0.0
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def _render(self) -> list[str]:
+        with self._lock:
+            samples = sorted((k, (list(c), s))
+                             for k, (c, s) in self._samples.items())
+        if not samples:
+            samples = [((), ([0] * (len(self.buckets) + 1), 0.0))]
+        lines = []
+        for key, (counts, total) in samples:
+            cumulative = 0
+            for upper, n in zip(self.buckets, counts):
+                cumulative += n
+                le = _format_labels(key, (("le", _format_value(upper)),))
+                lines.append(f"{self.name}_bucket{le} {cumulative}")
+            cumulative += counts[-1]
+            le = _format_labels(key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{le} {cumulative}")
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{_format_labels(key)} {cumulative}")
+        return lines
+
+
+class MetricRegistry:
+    """Thread-safe name -> metric-family table with idempotent getters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str):
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every sample (families stay registered).  For tests."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()
+
+    def collect(self) -> dict[str, dict]:
+        """Plain-dict snapshot: {name: {labels-tuple-as-str: value}}."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            metrics = list(self._metrics.items())
+        for name, metric in metrics:
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    out[name] = {
+                        _format_labels(k) or "": {"count": sum(c), "sum": s}
+                        for k, (c, s) in metric._samples.items()}
+            else:
+                with metric._lock:
+                    out[name] = {_format_labels(k) or "": v
+                                 for k, v in metric._samples.items()}
+        return out
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Text exposition format 0.0.4 for every family in ``registry``."""
+    lines: list[str] = []
+    with registry._lock:
+        metrics = [registry._metrics[name] for name in sorted(registry._metrics)]
+    for metric in metrics:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        lines.extend(metric._render())
+    return "\n".join(lines) + "\n"
+
+
+#: The process-wide default registry all instrumentation points use.
+REGISTRY = MetricRegistry()

@@ -1,0 +1,213 @@
+"""Trace-file analysis: hierarchical time breakdown + bucket accounting.
+
+A ``trace.jsonl`` written by :class:`~repro.obs.tracer.JsonlTracer` is a
+flat list of finished spans with parent links.  This module rebuilds
+the tree and answers the question the ROADMAP keeps asking: *where did
+the wall-clock go?*
+
+Every span's **self time** is its duration minus its children's
+durations (clamped at zero: children running concurrently on other
+threads can sum past the parent).  Self times are then classified into
+three buckets by span name:
+
+- ``loss_eval``      -- names starting with ``loss.`` (the physics)
+- ``idle``           -- names containing ``idle`` (polling, backoff)
+- ``orchestration``  -- everything else (the tax this repo controls)
+
+For a serial run rooted in one CLI span the buckets partition the
+wall-clock exactly; the acceptance bar is >=95% accounted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def bucket_of(name: str) -> str:
+    if name.startswith("loss."):
+        return "loss_eval"
+    if "idle" in name:
+        return "idle"
+    return "orchestration"
+
+
+def load_trace(path: str | Path) -> tuple[dict, list[dict]]:
+    """Parse a trace file -> (meta, spans); tolerates a torn last line."""
+    meta: dict = {}
+    spans: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed process
+            if record.get("kind") == "meta":
+                meta = record
+            elif record.get("kind") == "span":
+                spans.append(record)
+    return meta, spans
+
+
+@dataclass
+class SummaryRow:
+    """One aggregated tree node (all spans sharing a name-path)."""
+
+    path: tuple[str, ...]
+    count: int = 0
+    total: float = 0.0
+    self_seconds: float = 0.0
+    children: list["SummaryRow"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+
+@dataclass
+class TraceSummary:
+    wall_seconds: float
+    num_spans: int
+    buckets: dict[str, float]
+    roots: list[SummaryRow]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def accounted(self) -> float:
+        return sum(self.buckets.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of wall-clock the buckets account for (may exceed
+        1.0 when threads overlap)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.accounted / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        def row(r: SummaryRow) -> dict:
+            return {"path": "/".join(r.path), "count": r.count,
+                    "total_seconds": round(r.total, 6),
+                    "self_seconds": round(r.self_seconds, 6),
+                    "children": [row(c) for c in r.children]}
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "num_spans": self.num_spans,
+            "buckets": {k: round(v, 6) for k, v in self.buckets.items()},
+            "coverage": round(self.coverage, 4),
+            "tree": [row(r) for r in self.roots],
+        }
+
+
+def summarize_spans(spans: list[dict], meta: dict | None = None) -> TraceSummary:
+    by_id = {s["id"]: s for s in spans}
+    children_dur: dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent in by_id:
+            children_dur[parent] = children_dur.get(parent, 0.0) + span["dur"]
+
+    # name-path per span (parent chain), memoized
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def path_of(span: dict) -> tuple[str, ...]:
+        sid = span["id"]
+        cached = paths.get(sid)
+        if cached is not None:
+            return cached
+        parent = span.get("parent")
+        if parent in by_id:
+            result = path_of(by_id[parent]) + (span["name"],)
+        else:
+            result = (span["name"],)
+        paths[sid] = result
+        return result
+
+    nodes: dict[tuple[str, ...], SummaryRow] = {}
+    buckets = {"loss_eval": 0.0, "orchestration": 0.0, "idle": 0.0}
+    starts, ends = [], []
+    for span in spans:
+        starts.append(span["start"])
+        ends.append(span["start"] + span["dur"])
+        self_seconds = max(0.0, span["dur"] - children_dur.get(span["id"], 0.0))
+        buckets[bucket_of(span["name"])] += self_seconds
+        path = path_of(span)
+        node = nodes.get(path)
+        if node is None:
+            node = nodes[path] = SummaryRow(path)
+        node.count += 1
+        node.total += span["dur"]
+        node.self_seconds += self_seconds
+
+    roots: list[SummaryRow] = []
+    for path in sorted(nodes, key=len):
+        node = nodes[path]
+        if len(path) > 1 and path[:-1] in nodes:
+            nodes[path[:-1]].children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda c: -c.total)
+    roots.sort(key=lambda r: -r.total)
+
+    wall = (max(ends) - min(starts)) if spans else 0.0
+    return TraceSummary(wall_seconds=wall, num_spans=len(spans),
+                        buckets=buckets, roots=roots, meta=meta or {})
+
+
+def summarize(path: str | Path) -> TraceSummary:
+    meta, spans = load_trace(path)
+    return summarize_spans(spans, meta)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_summary(summary: TraceSummary, max_depth: int = 6) -> str:
+    """Human-readable breakdown table for ``repro trace summary``."""
+    wall = summary.wall_seconds
+    lines = []
+    lines.append(f"wall clock : {_fmt_seconds(wall)}  "
+                 f"({summary.num_spans} spans)")
+    lines.append("")
+    lines.append("bucket           seconds      share")
+    order = [("loss evaluation", "loss_eval"),
+             ("orchestration", "orchestration"),
+             ("idle", "idle")]
+    for label, key in order:
+        seconds = summary.buckets.get(key, 0.0)
+        share = (seconds / wall * 100.0) if wall > 0 else 0.0
+        lines.append(f"{label:<16} {_fmt_seconds(seconds):>8}    {share:6.1f}%")
+    lines.append(f"{'accounted':<16} {_fmt_seconds(summary.accounted):>8}"
+                 f"    {summary.coverage * 100.0:6.1f}%")
+    lines.append("")
+    lines.append(f"{'span':<46} {'count':>6} {'total':>9} {'self':>9} "
+                 f"{'%wall':>6}")
+
+    def emit(row: SummaryRow) -> None:
+        if row.depth >= max_depth:
+            return
+        label = "  " * row.depth + row.name
+        share = (row.total / wall * 100.0) if wall > 0 else 0.0
+        lines.append(f"{label:<46} {row.count:>6} "
+                     f"{_fmt_seconds(row.total):>9} "
+                     f"{_fmt_seconds(row.self_seconds):>9} {share:6.1f}%")
+        for child in row.children:
+            emit(child)
+
+    for root in summary.roots:
+        emit(root)
+    return "\n".join(lines)

@@ -46,6 +46,7 @@ from ..execution.executor import (
     resolve_executor,
     spawn_seeds,
 )
+from ..obs import get_tracer
 from .genetic import GAConfig, GeneticAlgorithm
 
 
@@ -118,6 +119,11 @@ class EngineResult:
     rounds: list[RoundRecord]
     num_evaluations: int
     total_seconds: float
+    #: Aggregated memo-cache accounting across every GA instance of every
+    #: round -- including instances that ran in child processes, whose
+    #: counters would otherwise be dropped on the wire (each worker reports
+    #: its own deltas and the parent sums them here).
+    cache_stats: dict | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -130,7 +136,7 @@ class EngineResult:
 
 def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
                                     float, np.ndarray, int,
-                                    dict[bytes, float]]:
+                                    dict[bytes, float], int, int]:
     """Worker: one GA instance of one round (top-level for pickling).
 
     ``job`` is ``(loss_fn, genome_length, num_values, ga_config,
@@ -139,7 +145,9 @@ def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
     per-instance ``SeedSequence`` under parallel executors.  ``cache`` is
     the live memo table (serial) or a round-start snapshot (parallel);
     with ``collect_new`` set, entries discovered by this instance are
-    returned for the parent to merge.
+    returned for the parent to merge.  The trailing ``(cache_hits,
+    cache_dedups)`` carry the instance's memo accounting back explicitly --
+    counters mutated inside a child process would otherwise be lost.
     """
     (loss_fn, genome_length, num_values, ga_config, rng_or_seed,
      population, top_k, cache, collect_new) = job
@@ -154,7 +162,8 @@ def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
     new_entries = ({k: cache[k] for k in cache.keys() - known}
                    if collect_new else {})
     return (top, result.best_loss, result.best_genome.copy(),
-            result.num_evaluations, new_entries)
+            result.num_evaluations, new_entries,
+            result.cache_hits, result.cache_dedups)
 
 
 def _evaluate_shard(job) -> np.ndarray:
@@ -164,6 +173,18 @@ def _evaluate_shard(job) -> np.ndarray:
     if batch_fn is not None:
         return np.asarray(batch_fn(genomes), dtype=float)
     return np.array([float(loss_fn(g)) for g in genomes])
+
+
+def _evaluate_shard_timed(job) -> tuple[np.ndarray, float]:
+    """Worker: one shard plus its in-worker wall time.
+
+    Process-pool children fall back to the null tracer, so per-shard
+    durations are measured here and *returned*; the parent re-emits them
+    as ``loss.shard`` events under its ``executor.map_shards`` span.
+    """
+    start = time.perf_counter()
+    values = _evaluate_shard(job)
+    return values, time.perf_counter() - start
 
 
 class _ShardedBatchLoss:
@@ -192,9 +213,19 @@ class _ShardedBatchLoss:
         if num_shards <= 1:
             return _evaluate_shard((self.loss_fn, genomes))
         shards = np.array_split(genomes, num_shards)
-        parts = self.executor.map(
-            _evaluate_shard, [(self.loss_fn, shard) for shard in shards])
-        return np.concatenate(parts)
+        jobs = [(self.loss_fn, shard) for shard in shards]
+        tracer = get_tracer()
+        # In-process workers (threads) record their own loss spans; only
+        # out-of-process workers need in-worker timings shipped back.
+        if not tracer.enabled or getattr(self.executor, "in_process", True):
+            parts = self.executor.map(_evaluate_shard, jobs)
+            return np.concatenate(parts)
+        with tracer.span("executor.map_shards", shards=num_shards,
+                         batch=len(genomes)):
+            timed = self.executor.map(_evaluate_shard_timed, jobs)
+            for (_, seconds), shard in zip(timed, shards):
+                tracer.event("loss.shard", seconds, batch=len(shard))
+        return np.concatenate([values for values, _ in timed])
 
 
 def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
@@ -273,60 +304,78 @@ def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
     retries_left = cfg.retry_rounds
     rounds: list[RoundRecord] = []
     total_evals = 0
+    cache_hits = 0
+    cache_dedups = 0
+    tracer = get_tracer()
     start_time = time.perf_counter()
 
     for _ in range(cfg.max_rounds):
-        round_start = time.perf_counter()
-        if sequential:
-            jobs = [(loss_fn, genome_length, num_values, ga_config, rng,
-                     populations[i], cfg.top_k, memo.cache, False)
-                    for i in range(cfg.num_instances)]
-        else:
-            seeds = spawn_seeds(seed_seq, cfg.num_instances)
-            jobs = [(loss_fn, genome_length, num_values, ga_config, seeds[i],
-                     populations[i], cfg.top_k, memo.snapshot(), True)
-                    for i in range(cfg.num_instances)]
-        outcomes = instance_executor.map(_run_one_instance, jobs)
+        # One real span per round (the RoundRecord keeps its own
+        # perf_counter bookkeeping -- spans are additive, never a source
+        # of record fields).  Loss spans from the instances nest inside.
+        with tracer.span("engine.round", round=len(rounds),
+                         instances=cfg.num_instances) as round_span:
+            round_start = time.perf_counter()
+            if sequential:
+                jobs = [(loss_fn, genome_length, num_values, ga_config, rng,
+                         populations[i], cfg.top_k, memo.cache, False)
+                        for i in range(cfg.num_instances)]
+            else:
+                seeds = spawn_seeds(seed_seq, cfg.num_instances)
+                jobs = [(loss_fn, genome_length, num_values, ga_config,
+                         seeds[i], populations[i], cfg.top_k,
+                         memo.snapshot(), True)
+                        for i in range(cfg.num_instances)]
+            outcomes = instance_executor.map(_run_one_instance, jobs)
 
-        round_evals = 0
-        pool: list[tuple[float, np.ndarray]] = []
-        for top, instance_best, instance_genome, evals, entries in outcomes:
-            memo.merge(entries)
-            round_evals += evals
-            pool.extend(top)
-            if instance_best < best_loss - 1e-12:
-                best_loss = instance_best
-                best_genome = instance_genome
-        total_evals += round_evals
-        rounds.append(RoundRecord(
-            best_loss=best_loss,
-            duration_seconds=time.perf_counter() - round_start,
-            num_evaluations=round_evals))
+            round_evals = 0
+            pool: list[tuple[float, np.ndarray]] = []
+            for (top, instance_best, instance_genome, evals, entries,
+                 instance_hits, instance_dedups) in outcomes:
+                memo.merge(entries)
+                round_evals += evals
+                cache_hits += instance_hits
+                cache_dedups += instance_dedups
+                pool.extend(top)
+                if instance_best < best_loss - 1e-12:
+                    best_loss = instance_best
+                    best_genome = instance_genome
+            total_evals += round_evals
+            rounds.append(RoundRecord(
+                best_loss=best_loss,
+                duration_seconds=time.perf_counter() - round_start,
+                num_evaluations=round_evals))
+            round_span.tag(evaluations=round_evals, best_loss=best_loss)
 
-        improved = (len(rounds) < 2
-                    or rounds[-1].best_loss < rounds[-2].best_loss - 1e-12)
-        if improved:
-            retries_left = cfg.retry_rounds
-        else:
-            retries_left -= 1
-            if retries_left < 0:
-                break
+            improved = (len(rounds) < 2
+                        or rounds[-1].best_loss
+                        < rounds[-2].best_loss - 1e-12)
+            if improved:
+                retries_left = cfg.retry_rounds
+            else:
+                retries_left -= 1
+                if retries_left < 0:
+                    break
 
-        # Mix: shuffle the pooled elites into fresh seed populations,
-        # topping up with brand-new random guesses (Figure 4, right side).
-        if not pool:
-            # top_k = 0 leaves nothing to pool; reseed every instance from
-            # fresh random guesses instead of crashing in rng.choice.
-            populations = [None] * cfg.num_instances
-            continue
-        pool_genomes = np.array([g for _, g in pool])
-        draw = max(1, int(cfg.pool_fraction * cfg.population_size))
-        for i in range(cfg.num_instances):
-            take = min(draw, len(pool_genomes))
-            picks = rng.choice(len(pool_genomes), size=take, replace=False)
-            populations[i] = pool_genomes[picks].copy()
+            # Mix: shuffle the pooled elites into fresh seed populations,
+            # topping up with brand-new random guesses (Figure 4, right).
+            if not pool:
+                # top_k = 0 leaves nothing to pool; reseed every instance
+                # from fresh random guesses instead of crashing in
+                # rng.choice.
+                populations = [None] * cfg.num_instances
+                continue
+            pool_genomes = np.array([g for _, g in pool])
+            draw = max(1, int(cfg.pool_fraction * cfg.population_size))
+            for i in range(cfg.num_instances):
+                take = min(draw, len(pool_genomes))
+                picks = rng.choice(len(pool_genomes), size=take,
+                                   replace=False)
+                populations[i] = pool_genomes[picks].copy()
 
     return EngineResult(
         best_genome=best_genome, best_loss=best_loss, rounds=rounds,
         num_evaluations=total_evals,
-        total_seconds=time.perf_counter() - start_time)
+        total_seconds=time.perf_counter() - start_time,
+        cache_stats={"hits": cache_hits, "misses": total_evals,
+                     "dedups": cache_dedups, "entries": len(memo)})

@@ -50,6 +50,8 @@ class GAResult:
     best_loss: float
     history: list[float] = field(default_factory=list)
     num_evaluations: int = 0
+    cache_hits: int = 0
+    cache_dedups: int = 0
 
 
 class GeneticAlgorithm:
@@ -88,6 +90,8 @@ class GeneticAlgorithm:
             self._memo = memoize_loss(loss_fn, cache)
         self.cache = self._memo.cache
         self._misses_at_start = self._memo.misses
+        self._hits_at_start = self._memo.hits
+        self._dedups_at_start = self._memo.dedups
         self.genome_length = genome_length
         self.num_values = num_values
         self.config = config or GAConfig()
@@ -100,6 +104,16 @@ class GeneticAlgorithm:
     def num_evaluations(self) -> int:
         """Distinct loss evaluations this instance paid (cache misses)."""
         return self._memo.misses - self._misses_at_start
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups this instance served from the shared memo table."""
+        return self._memo.hits - self._hits_at_start
+
+    @property
+    def cache_dedups(self) -> int:
+        """Within-batch duplicates collapsed by this instance's batches."""
+        return self._memo.dedups - self._dedups_at_start
 
     # ------------------------------------------------------------------
     # Population utilities
@@ -177,4 +191,6 @@ class GeneticAlgorithm:
         return GAResult(population=population, losses=losses,
                         best_genome=population[0].copy(),
                         best_loss=float(losses[0]), history=history,
-                        num_evaluations=self.num_evaluations)
+                        num_evaluations=self.num_evaluations,
+                        cache_hits=self.cache_hits,
+                        cache_dedups=self.cache_dedups)

@@ -117,6 +117,9 @@ class SearchResult:
         engine: The underlying :class:`EngineResult` when the strategy is
             the multi-GA adapter (preserved so downstream consumers see
             bit-identical engine bookkeeping).
+        cache_stats: Memo-table accounting of the run (``hits`` /
+            ``misses`` / ``dedups`` / ``entries``), aggregated across
+            process workers when the engine fans instances out.
     """
 
     strategy: str
@@ -128,6 +131,8 @@ class SearchResult:
     stopped_by: str = "converged"
     engine: EngineResult | None = field(default=None, repr=False,
                                         compare=False)
+    cache_stats: dict | None = field(default=None, repr=False,
+                                     compare=False)
 
     @property
     def num_rounds(self) -> int:

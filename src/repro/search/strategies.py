@@ -34,6 +34,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..execution.cache import memoize_loss
+from ..obs import get_tracer
 # _ShardedBatchLoss is the engine's executor seam for population batches;
 # the strategies reuse it so parallel values stay bit-identical to serial.
 from ..optim.engine import (
@@ -81,7 +82,7 @@ def _rounds_cap(budget: SearchBudget, cfg: EngineConfig) -> int:
 
 
 def _result(name: str, tracker: BudgetedLoss, trace: list[SearchTrace],
-            start: float, stopped_by: str) -> SearchResult:
+            start: float, stopped_by: str, memo=None) -> SearchResult:
     if tracker.best_genome is None:
         raise ValueError(
             f"strategy {name!r} performed no evaluations; the budget "
@@ -90,7 +91,8 @@ def _result(name: str, tracker: BudgetedLoss, trace: list[SearchTrace],
         strategy=name, best_genome=tracker.best_genome.copy(),
         best_loss=tracker.best_loss, trace=trace,
         num_evaluations=tracker.evaluations,
-        total_seconds=time.perf_counter() - start, stopped_by=stopped_by)
+        total_seconds=time.perf_counter() - start, stopped_by=stopped_by,
+        cache_stats=memo.stats() if memo is not None else None)
 
 
 class _TraceClock:
@@ -148,28 +150,30 @@ class MultiGAStrategy(SearchStrategy):
                 "pass config=EngineConfig(seed=...) instead of rng=")
         cfg = config or EngineConfig()
         start = time.perf_counter()
-        if budget is None:
-            engine = multi_ga_minimize(loss_fn, num_parameters,
-                                       num_values=num_values, config=cfg,
-                                       executor=executor)
+        with get_tracer().span("search.minimize", strategy=self.name):
+            if budget is None:
+                engine = multi_ga_minimize(loss_fn, num_parameters,
+                                           num_values=num_values,
+                                           config=cfg, executor=executor)
+                return self._from_engine(engine, cfg)
+            budget.validate()
+            if (budget.max_rounds is not None
+                    and budget.max_rounds < cfg.max_rounds):
+                cfg = replace(cfg, max_rounds=budget.max_rounds)
+            tracker = BudgetedLoss(loss_fn, budget)
+            try:
+                engine = multi_ga_minimize(tracker, num_parameters,
+                                           num_values=num_values,
+                                           config=cfg, executor=executor)
+            except (BudgetExhausted, TargetReached) as stop:
+                stopped_by = ("evaluations"
+                              if isinstance(stop, BudgetExhausted)
+                              else "target")
+                elapsed = time.perf_counter() - start
+                trace = [SearchTrace(0, tracker.best_loss,
+                                     tracker.evaluations, elapsed)]
+                return _result(self.name, tracker, trace, start, stopped_by)
             return self._from_engine(engine, cfg)
-        budget.validate()
-        if (budget.max_rounds is not None
-                and budget.max_rounds < cfg.max_rounds):
-            cfg = replace(cfg, max_rounds=budget.max_rounds)
-        tracker = BudgetedLoss(loss_fn, budget)
-        try:
-            engine = multi_ga_minimize(tracker, num_parameters,
-                                       num_values=num_values, config=cfg,
-                                       executor=executor)
-        except (BudgetExhausted, TargetReached) as stop:
-            stopped_by = ("evaluations" if isinstance(stop, BudgetExhausted)
-                          else "target")
-            elapsed = time.perf_counter() - start
-            trace = [SearchTrace(0, tracker.best_loss, tracker.evaluations,
-                                 elapsed)]
-            return _result(self.name, tracker, trace, start, stopped_by)
-        return self._from_engine(engine, cfg)
 
     def _from_engine(self, engine: EngineResult,
                      cfg: EngineConfig) -> SearchResult:
@@ -183,7 +187,7 @@ class MultiGAStrategy(SearchStrategy):
             best_loss=engine.best_loss, trace=trace,
             num_evaluations=engine.num_evaluations,
             total_seconds=engine.total_seconds, stopped_by=stopped_by,
-            engine=engine)
+            engine=engine, cache_stats=engine.cache_stats)
 
 
 # ----------------------------------------------------------------------
@@ -224,41 +228,50 @@ class AnnealingStrategy(SearchStrategy):
             loss_fn, budget, config, rng, executor)
         num_rounds = _rounds_cap(budget, cfg)
         size = cfg.population_size
+        tracer = get_tracer()
         start = time.perf_counter()
         clock = _TraceClock(tracker)
         stopped_by = "rounds"
-        try:
-            population = rng.integers(0, num_values,
-                                      size=(size, num_parameters))
-            losses = memo.evaluate_many(population)
-            t0 = self.initial_temperature
-            if t0 is None:
-                spread = float(losses.max() - losses.min())
-                t0 = spread if spread > 0 else 1.0
-            alpha = (self.final_fraction ** (1.0 / max(1, num_rounds - 1))
-                     if num_rounds > 1 else 1.0)
-            rows = np.arange(size)
-            for step in range(num_rounds):
-                temperature = t0 * alpha ** step
-                positions = rng.integers(0, num_parameters, size=size)
-                offsets = rng.integers(1, num_values, size=size)
-                proposals = population.copy()
-                proposals[rows, positions] = (
-                    population[rows, positions] + offsets) % num_values
-                proposal_losses = memo.evaluate_many(proposals)
-                delta = proposal_losses - losses
-                accept = (delta <= 0) | (rng.random(size)
-                                         < np.exp(-delta / temperature))
-                population[accept] = proposals[accept]
-                losses[accept] = proposal_losses[accept]
-                clock.lap()
-        except BudgetExhausted:
-            stopped_by = "evaluations"
-            clock.lap_if_pending()
-        except TargetReached:
-            stopped_by = "target"
-            clock.lap_if_pending()
-        return _result(self.name, tracker, clock.trace, start, stopped_by)
+        with tracer.span("search.minimize", strategy=self.name):
+            try:
+                population = rng.integers(0, num_values,
+                                          size=(size, num_parameters))
+                losses = memo.evaluate_many(population)
+                t0 = self.initial_temperature
+                if t0 is None:
+                    spread = float(losses.max() - losses.min())
+                    t0 = spread if spread > 0 else 1.0
+                alpha = (self.final_fraction
+                         ** (1.0 / max(1, num_rounds - 1))
+                         if num_rounds > 1 else 1.0)
+                rows = np.arange(size)
+                for step in range(num_rounds):
+                    with tracer.span("search.round", round=step,
+                                     batch=size):
+                        temperature = t0 * alpha ** step
+                        positions = rng.integers(0, num_parameters,
+                                                 size=size)
+                        offsets = rng.integers(1, num_values, size=size)
+                        proposals = population.copy()
+                        proposals[rows, positions] = (
+                            population[rows, positions]
+                            + offsets) % num_values
+                        proposal_losses = memo.evaluate_many(proposals)
+                        delta = proposal_losses - losses
+                        accept = (delta <= 0) | (
+                            rng.random(size)
+                            < np.exp(-delta / temperature))
+                        population[accept] = proposals[accept]
+                        losses[accept] = proposal_losses[accept]
+                        clock.lap()
+            except BudgetExhausted:
+                stopped_by = "evaluations"
+                clock.lap_if_pending()
+            except TargetReached:
+                stopped_by = "target"
+                clock.lap_if_pending()
+        return _result(self.name, tracker, clock.trace, start, stopped_by,
+                       memo)
 
 
 # ----------------------------------------------------------------------
@@ -300,48 +313,59 @@ class TabuStrategy(SearchStrategy):
         batch = min(full_size, cfg.population_size)
         tenure = (self.tenure if self.tenure is not None
                   else max(2, int(np.ceil(np.sqrt(full_size)))))
+        tracer = get_tracer()
         start = time.perf_counter()
         clock = _TraceClock(tracker)
         stopped_by = "rounds"
         tabu_until: dict[tuple[int, int], int] = {}
-        try:
-            current = rng.integers(0, num_values, size=num_parameters)
-            memo.evaluate_many(current[None, :])
-            clock.lap()
-            for round_index in range(num_rounds):
-                if full_size <= cfg.population_size:
-                    positions = np.repeat(np.arange(num_parameters),
-                                          num_values - 1)
-                    offsets = np.tile(np.arange(1, num_values),
-                                      num_parameters)
-                else:
-                    positions = rng.integers(0, num_parameters, size=batch)
-                    offsets = rng.integers(1, num_values, size=batch)
-                values = (current[positions] + offsets) % num_values
-                candidates = np.tile(current, (len(positions), 1))
-                candidates[np.arange(len(positions)), positions] = values
-                aspiration = tracker.best_loss
-                candidate_losses = memo.evaluate_many(candidates)
-                admissible = np.array([
-                    tabu_until.get((int(p), int(v)), -1) <= round_index
-                    or candidate_losses[i] < aspiration
-                    for i, (p, v) in enumerate(zip(positions, values))])
-                pool = (np.flatnonzero(admissible) if admissible.any()
-                        else np.arange(len(positions)))
-                pick = pool[int(np.argmin(candidate_losses[pool]))]
-                position = int(positions[pick])
-                # forbid restoring the value this move overwrites
-                tabu_until[(position, int(current[position]))] = \
-                    round_index + 1 + tenure
-                current = candidates[pick]
+        with tracer.span("search.minimize", strategy=self.name):
+            try:
+                current = rng.integers(0, num_values, size=num_parameters)
+                memo.evaluate_many(current[None, :])
                 clock.lap()
-        except BudgetExhausted:
-            stopped_by = "evaluations"
-            clock.lap_if_pending()
-        except TargetReached:
-            stopped_by = "target"
-            clock.lap_if_pending()
-        return _result(self.name, tracker, clock.trace, start, stopped_by)
+                for round_index in range(num_rounds):
+                    with tracer.span("search.round", round=round_index,
+                                     batch=batch):
+                        if full_size <= cfg.population_size:
+                            positions = np.repeat(
+                                np.arange(num_parameters), num_values - 1)
+                            offsets = np.tile(np.arange(1, num_values),
+                                              num_parameters)
+                        else:
+                            positions = rng.integers(0, num_parameters,
+                                                     size=batch)
+                            offsets = rng.integers(1, num_values,
+                                                   size=batch)
+                        values = (current[positions] + offsets) % num_values
+                        candidates = np.tile(current, (len(positions), 1))
+                        candidates[np.arange(len(positions)),
+                                   positions] = values
+                        aspiration = tracker.best_loss
+                        candidate_losses = memo.evaluate_many(candidates)
+                        admissible = np.array([
+                            tabu_until.get((int(p), int(v)), -1)
+                            <= round_index
+                            or candidate_losses[i] < aspiration
+                            for i, (p, v)
+                            in enumerate(zip(positions, values))])
+                        pool = (np.flatnonzero(admissible)
+                                if admissible.any()
+                                else np.arange(len(positions)))
+                        pick = pool[int(np.argmin(candidate_losses[pool]))]
+                        position = int(positions[pick])
+                        # forbid restoring the value this move overwrites
+                        tabu_until[(position, int(current[position]))] = \
+                            round_index + 1 + tenure
+                        current = candidates[pick]
+                        clock.lap()
+            except BudgetExhausted:
+                stopped_by = "evaluations"
+                clock.lap_if_pending()
+            except TargetReached:
+                stopped_by = "target"
+                clock.lap_if_pending()
+        return _result(self.name, tracker, clock.trace, start, stopped_by,
+                       memo)
 
 
 # ----------------------------------------------------------------------
@@ -395,46 +419,59 @@ class RestartClimbStrategy(SearchStrategy):
         plateau_limit = (self.plateau_limit
                          if self.plateau_limit is not None
                          else num_parameters)
+        tracer = get_tracer()
         start = time.perf_counter()
         clock = _TraceClock(tracker)
         stopped_by = "converged"
-        try:
-            for _ in range(restarts):
-                current = rng.integers(0, num_values, size=num_parameters)
-                current_loss = float(
-                    memo.evaluate_many(current[None, :])[0])
-                plateau_steps = 0
-                for _ in range(cfg.generations_per_round):
-                    if full_size <= cfg.population_size:
-                        positions = np.repeat(np.arange(num_parameters),
-                                              num_values - 1)
-                        offsets = np.tile(np.arange(1, num_values),
-                                          num_parameters)
-                    else:
-                        positions = rng.integers(0, num_parameters,
-                                                 size=batch)
-                        offsets = rng.integers(1, num_values, size=batch)
-                    neighbors = np.tile(current, (len(positions), 1))
-                    neighbors[np.arange(len(positions)), positions] = (
-                        current[positions] + offsets) % num_values
-                    losses = memo.evaluate_many(neighbors)
-                    step = int(np.argmin(losses))
-                    if losses[step] < current_loss:
+        with tracer.span("search.minimize", strategy=self.name):
+            try:
+                for restart in range(restarts):
+                    with tracer.span("search.round", round=restart,
+                                     batch=batch):
+                        current = rng.integers(0, num_values,
+                                               size=num_parameters)
+                        current_loss = float(
+                            memo.evaluate_many(current[None, :])[0])
                         plateau_steps = 0
-                    elif (losses[step] == current_loss
-                          and plateau_steps < plateau_limit):
-                        # sideways: walk the plateau, bounded so a flat
-                        # basin cannot absorb the whole step budget
-                        plateau_steps += 1
-                    else:
-                        break  # local optimum (w.r.t. this neighborhood)
-                    current = neighbors[step]
-                    current_loss = float(losses[step])
-                clock.lap()
-        except BudgetExhausted:
-            stopped_by = "evaluations"
-            clock.lap_if_pending()
-        except TargetReached:
-            stopped_by = "target"
-            clock.lap_if_pending()
-        return _result(self.name, tracker, clock.trace, start, stopped_by)
+                        for _ in range(cfg.generations_per_round):
+                            if full_size <= cfg.population_size:
+                                positions = np.repeat(
+                                    np.arange(num_parameters),
+                                    num_values - 1)
+                                offsets = np.tile(
+                                    np.arange(1, num_values),
+                                    num_parameters)
+                            else:
+                                positions = rng.integers(
+                                    0, num_parameters, size=batch)
+                                offsets = rng.integers(1, num_values,
+                                                       size=batch)
+                            neighbors = np.tile(current,
+                                                (len(positions), 1))
+                            neighbors[np.arange(len(positions)),
+                                      positions] = (
+                                current[positions] + offsets) % num_values
+                            losses = memo.evaluate_many(neighbors)
+                            step = int(np.argmin(losses))
+                            if losses[step] < current_loss:
+                                plateau_steps = 0
+                            elif (losses[step] == current_loss
+                                  and plateau_steps < plateau_limit):
+                                # sideways: walk the plateau, bounded so a
+                                # flat basin cannot absorb the whole step
+                                # budget
+                                plateau_steps += 1
+                            else:
+                                # local optimum w.r.t. this neighborhood
+                                break
+                            current = neighbors[step]
+                            current_loss = float(losses[step])
+                        clock.lap()
+            except BudgetExhausted:
+                stopped_by = "evaluations"
+                clock.lap_if_pending()
+            except TargetReached:
+                stopped_by = "target"
+                clock.lap_if_pending()
+        return _result(self.name, tracker, clock.trace, start, stopped_by,
+                       memo)
