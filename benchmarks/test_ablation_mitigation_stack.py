@@ -2,47 +2,117 @@
 
 The paper proposes combining its pre-processing transformation with other
 mitigation methods as future work.  This bench quantifies the composition
-on one benchmark: CAFQA and Clapton initial points, each evaluated raw and
-with zero-noise extrapolation, under the full device model.
+through the mitigation registry: CAFQA and Clapton initial points, each
+evaluated under every built-in mitigation stack (raw, ZNE variants,
+readout inversion, and the composed ``zne|readout``) on the full device
+model, all driven through ``Experiment.run(mitigation=...)`` -- the same
+path campaigns take.
+
+Per-run JSON lands at ``CLAPTON_BENCH_JSON`` (default
+``benchmarks/bench_results/mitigation_baseline.json``, the committed
+artifact) with one error-vs-unmitigated row per stack and method.
+
+Engine preset: ``CLAPTON_BENCH_PRESET`` (``smoke`` shrinks the problem
+for CI; the committed baseline records the default ``fast`` preset).
 """
+
+import json
+import os
+from pathlib import Path
 
 from conftest import print_banner, run_once
 
 from repro.backends import FakeToronto
-from repro.core import VQEProblem, cafqa, clapton, evaluate_initial_point
+from repro.experiments import Experiment
 from repro.hamiltonians import get_benchmark, ground_state_energy
-from repro.mitigation import zne_energy
+
+SMOKE = os.environ.get("CLAPTON_BENCH_PRESET", "fast").lower() == "smoke"
+NUM_QUBITS = 3 if SMOKE else 6
+METHODS = ("cafqa", "clapton")
+#: Every built-in family plus the paper's proposed composition, by the
+#: registry grammar.  "none" is the unmitigated reference row.
+STACKS = ("none", "zne:folds=3", "zne:folds=3,fit=richardson", "readout",
+          "zne:folds=3|readout")
 
 
-def test_clapton_composes_with_zne(benchmark, bench_config):
-    hamiltonian = get_benchmark("xxz_J0.50", 6).hamiltonian()
-    problem = VQEProblem.from_backend(hamiltonian, FakeToronto())
+def _emit_bench_json(rows, e0):
+    payload = {
+        "bench": "mitigation_stack",
+        "preset": os.environ.get("CLAPTON_BENCH_PRESET", "fast"),
+        "benchmark": "xxz_J0.50",
+        "num_qubits": NUM_QUBITS,
+        "e0": round(e0, 6),
+        "stacks": {
+            stack: {
+                method: {
+                    "raw": round(raw, 6),
+                    "mitigated": round(mitigated, 6),
+                    "gap_raw": round(raw - e0, 6),
+                    "gap_mitigated": round(mitigated - e0, 6),
+                    "gap_recovered": round(abs(raw - e0)
+                                           - abs(mitigated - e0), 6),
+                }
+                for method, (raw, mitigated) in methods.items()
+            }
+            for stack, methods in rows.items()
+        },
+    }
+    path = Path(os.environ.get(
+        "CLAPTON_BENCH_JSON",
+        Path(__file__).parent / "bench_results" / "mitigation_baseline.json"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"BENCH {json.dumps(payload)}")
+    return path
+
+
+def test_mitigation_stacks_through_experiment(benchmark, bench_config):
+    hamiltonian = get_benchmark("xxz_J0.50", NUM_QUBITS).hamiltonian()
     e0 = ground_state_energy(hamiltonian)
 
     def experiment():
-        out = {}
-        for name, driver in [("cafqa", cafqa), ("clapton", clapton)]:
-            result = driver(problem, config=bench_config)
-            circuit = result.initial_circuit()
-            observable = result.initial_observable()
-            raw = evaluate_initial_point(result).device_model
-            zne = zne_energy(circuit, observable, problem.noise_model,
-                             scales=(1, 3, 5), method="exponential")
-            out[name] = (raw, zne.mitigated)
-        return out
+        rows = {}
+        for stack in STACKS:
+            # identical config + seed => identical search output per
+            # stack; only the evaluation phase differs
+            result = Experiment(hamiltonian, backend=FakeToronto(),
+                                e0=e0).run(methods=METHODS,
+                                           config=bench_config,
+                                           mitigation=stack)
+            rows[stack] = {}
+            for method in METHODS:
+                evaluation = result.runs[method].evaluation
+                raw = (evaluation.device_model_raw
+                       if evaluation.device_model_raw is not None
+                       else evaluation.device_model)
+                rows[stack][method] = (raw, evaluation.device_model)
+        return rows
 
-    results = run_once(benchmark, experiment)
-    print_banner(f"Extension | Clapton x ZNE | XXZ J=0.50, 6q, toronto | "
-                 f"E0={e0:.4f}")
-    print(f"{'method':<10} {'raw device':>11} {'with ZNE':>10} "
-          f"{'gap raw':>9} {'gap ZNE':>9}")
-    for name, (raw, mitigated) in results.items():
-        print(f"{name:<10} {raw:>11.4f} {mitigated:>10.4f} "
-              f"{raw - e0:>9.4f} {mitigated - e0:>9.4f}")
+    rows = run_once(benchmark, experiment)
+    _emit_bench_json(rows, e0)
 
-    # composition claim: ZNE shrinks each method's gap, and the composed
-    # clapton+ZNE stack is the best configuration overall
-    for name, (raw, mitigated) in results.items():
-        assert mitigated - e0 <= (raw - e0) + 1e-9, name
-    best = min(v[1] for v in results.values())
-    assert results["clapton"][1] <= best + 1e-9
+    print_banner(f"Extension | mitigation stacks x methods | XXZ J=0.50, "
+                 f"{NUM_QUBITS}q, toronto | E0={e0:.4f}")
+    print(f"{'stack':<28} {'method':<10} {'raw':>9} {'mitigated':>10} "
+          f"{'gap raw':>9} {'gap mit':>9}")
+    for stack, methods in rows.items():
+        for method, (raw, mitigated) in methods.items():
+            print(f"{stack:<28} {method:<10} {raw:>9.4f} {mitigated:>10.4f} "
+                  f"{raw - e0:>9.4f} {mitigated - e0:>9.4f}")
+
+    # the reference stack is a true no-op: mitigated == raw
+    for method, (raw, mitigated) in rows["none"].items():
+        assert mitigated == raw, method
+    # every stack sees the same unmitigated energies (same search output)
+    for stack in STACKS[1:]:
+        for method in METHODS:
+            assert rows[stack][method][0] == rows["none"][method][0], stack
+    # composition claim: ZNE, readout, and their stack each shrink the
+    # device-model gap, and composed clapton is the best configuration
+    for stack in ("zne:folds=3", "readout", "zne:folds=3|readout"):
+        for method, (raw, mitigated) in rows[stack].items():
+            assert abs(mitigated - e0) <= abs(raw - e0) + 1e-9, \
+                (stack, method)
+    best = min(mitigated for methods in rows.values()
+               for _, mitigated in methods.values())
+    assert rows["zne:folds=3|readout"]["clapton"][1] <= best + 1e-9

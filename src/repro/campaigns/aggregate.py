@@ -15,15 +15,16 @@ import io
 from dataclasses import dataclass, field
 
 from ..metrics import geometric_mean, relative_improvement
+from ..naming import unknown_name_message
 from .spec import setting_label
 from .store import STATUS_DONE, ResultStore
 
 #: Flat row columns, also the CSV header.
 ROW_FIELDS = (
     "benchmark", "num_qubits", "setting", "seed", "method", "strategy",
-    "e0", "e_mixed", "loss", "noiseless", "clifford_model",
-    "device_model", "hardware", "vqe_final", "engine_rounds",
-    "engine_evaluations", "seconds", "task_id",
+    "mitigation", "e0", "e_mixed", "loss", "noiseless", "clifford_model",
+    "device_model", "device_model_raw", "hardware", "vqe_final",
+    "engine_rounds", "engine_evaluations", "seconds", "task_id",
 )
 
 #: Energy tiers carried through aggregation.
@@ -34,8 +35,9 @@ TIERS = ("noiseless", "clifford_model", "device_model", "hardware")
 class CellKey:
     """One grid cell: everything but the method axis.
 
-    The search strategy is part of the cell, so Eq. 14 joins always
-    compare methods that searched the same way.
+    The search strategy and mitigation are part of the cell, so Eq. 14
+    joins always compare methods that searched the same way and were
+    mitigated the same way.
     """
 
     benchmark: str
@@ -43,6 +45,7 @@ class CellKey:
     setting: str
     seed: int
     strategy: str = "multi_ga"
+    mitigation: str = "none"
 
 
 @dataclass
@@ -79,6 +82,33 @@ class CampaignAggregate:
         return cls(rows=[_record_row(r) for r in ordered])
 
     # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def filtered(self, **criteria) -> "CampaignAggregate":
+        """Rows restricted to exact column values, e.g.
+        ``filtered(strategy="multi_ga", mitigation="zne:folds=3")``.
+
+        ``None`` values are ignored (so CLI flags pass straight
+        through).  An unknown column, or a value no row carries, raises
+        ``KeyError`` naming what this campaign actually has -- with a
+        did-you-mean suggestion -- instead of silently returning an
+        empty report.
+        """
+        rows = self.rows
+        for column, wanted in criteria.items():
+            if wanted is None:
+                continue
+            if column not in ROW_FIELDS:
+                raise KeyError(unknown_name_message(
+                    "filter column", column, list(ROW_FIELDS)))
+            available = sorted({str(r.get(column)) for r in rows})
+            if str(wanted) not in available:
+                raise KeyError(unknown_name_message(
+                    f"{column} value", wanted, available))
+            rows = [r for r in rows if str(r.get(column)) == str(wanted)]
+        return CampaignAggregate(rows=list(rows))
+
+    # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
     def cells(self) -> dict[CellKey, dict[str, dict]]:
@@ -88,7 +118,8 @@ class CampaignAggregate:
             for row in self.rows:
                 key = CellKey(row["benchmark"], row["num_qubits"],
                               row["setting"], row["seed"],
-                              row.get("strategy", "multi_ga"))
+                              row.get("strategy", "multi_ga"),
+                              row.get("mitigation", "none"))
                 out.setdefault(key, {})[row["method"]] = row
             self._cells = out
         return self._cells
@@ -114,6 +145,7 @@ class CampaignAggregate:
                 "setting": key.setting,
                 "seed": key.seed,
                 "strategy": key.strategy,
+                "mitigation": key.mitigation,
                 "baseline": baseline,
                 "improver": improver,
                 "tier": tier,
@@ -127,18 +159,19 @@ class CampaignAggregate:
     # ------------------------------------------------------------------
     def method_summary(self) -> list[dict]:
         """Mean three-tier energies per (benchmark, qubits, setting,
-        method, strategy), aggregated over seeds."""
+        method, strategy, mitigation), aggregated over seeds."""
         groups: dict[tuple, list[dict]] = {}
         for row in self.rows:
             key = (row["benchmark"], row["num_qubits"], row["setting"],
-                   row["method"], row.get("strategy", "multi_ga"))
+                   row["method"], row.get("strategy", "multi_ga"),
+                   row.get("mitigation", "none"))
             groups.setdefault(key, []).append(row)
         out = []
-        for (benchmark, num_qubits, setting, method,
-             strategy), rows in groups.items():
+        for (benchmark, num_qubits, setting, method, strategy,
+             mitigation), rows in groups.items():
             entry = {"benchmark": benchmark, "num_qubits": num_qubits,
                      "setting": setting, "method": method,
-                     "strategy": strategy,
+                     "strategy": strategy, "mitigation": mitigation,
                      "num_seeds": len(rows), "e0": rows[0]["e0"]}
             for tier in TIERS:
                 values = [r[tier] for r in rows if r.get(tier) is not None]
@@ -155,11 +188,11 @@ class CampaignAggregate:
         groups: dict[tuple, list[float]] = {}
         for row in self.eta_rows(baseline, tier, improver):
             key = (row["benchmark"], row["num_qubits"], row["setting"],
-                   row["strategy"])
+                   row["strategy"], row["mitigation"])
             groups.setdefault(key, []).append(row["eta"])
         out = []
-        for (benchmark, num_qubits, setting,
-             strategy), etas in groups.items():
+        for (benchmark, num_qubits, setting, strategy,
+             mitigation), etas in groups.items():
             # a seed where Clapton reaches E0 exactly has eta = inf (and
             # eta = 0 when only the baseline does); either saturates the
             # cell's geometric mean -- never drop such seeds
@@ -172,6 +205,7 @@ class CampaignAggregate:
             out.append({
                 "benchmark": benchmark, "num_qubits": num_qubits,
                 "setting": setting, "strategy": strategy,
+                "mitigation": mitigation,
                 "baseline": baseline,
                 "improver": improver, "tier": tier,
                 "num_seeds": len(etas),
@@ -217,12 +251,16 @@ def _record_row(record: dict) -> dict:
         # cell even when a method's own search reports another label
         # ("none"/"best_of_k"); pre-axis records carry no strategy key
         "strategy": task.get("strategy", "multi_ga"),
+        # the grid-axis mitigation spec as declared (e.g. "zne:folds=3"),
+        # so rows group and join by what the campaign asked for
+        "mitigation": task.get("mitigation", "none"),
         "e0": result["e0"],
         "e_mixed": result["e_mixed"],
         "loss": run["loss"],
         "noiseless": evaluation.get("noiseless"),
         "clifford_model": evaluation.get("clifford_model"),
         "device_model": evaluation.get("device_model"),
+        "device_model_raw": evaluation.get("device_model_raw"),
         "hardware": evaluation.get("hardware"),
         "vqe_final": vqe.get("final_energy"),
         "engine_rounds": run["engine_rounds"],

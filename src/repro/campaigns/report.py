@@ -10,6 +10,7 @@ a failure appendix.  ``repro report <store>`` prints it.
 from __future__ import annotations
 
 from ..methods import method_names
+from ..mitigation import mitigation_names
 from ..search import strategy_names
 from .aggregate import TIERS, CampaignAggregate
 from .store import ResultStore
@@ -19,16 +20,23 @@ def render_report(store: ResultStore,
                   baselines: tuple[str, ...] | None = None,
                   tier: str = "device_model",
                   aggregate: CampaignAggregate | None = None,
-                  improver: str = "clapton") -> str:
+                  improver: str = "clapton",
+                  strategy: str | None = None,
+                  mitigation: str | None = None) -> str:
     """Render the whole campaign as a markdown document.
 
     ``baselines`` defaults to every campaign method except ``improver``
     (one Eq. 14 table per baseline).  Pass a prebuilt ``aggregate`` to
     reuse one aggregation across the report and other outputs (the CLI's
-    ``--csv``).
+    ``--csv``).  ``strategy``/``mitigation`` restrict the tables to one
+    value of that axis; an unknown value raises ``KeyError`` listing
+    what the campaign has.
     """
     if aggregate is None:
         aggregate = CampaignAggregate.from_store(store)
+    if strategy is not None or mitigation is not None:
+        aggregate = aggregate.filtered(strategy=strategy,
+                                       mitigation=mitigation)
     counts = store.counts()
     lines = [
         f"# Campaign report: {store.spec.name}",
@@ -42,6 +50,7 @@ def render_report(store: ResultStore,
         f"{len(store.spec.settings())} setting(s) x "
         f"{len(store.spec.methods)} method(s) x "
         f"{len(store.spec.strategies)} strateg(y/ies) x "
+        f"{len(store.spec.mitigations)} mitigation(s) x "
         f"{len(store.spec.seeds)} seed(s)",
     ]
     if not aggregate.rows:
@@ -63,9 +72,13 @@ def render_report(store: ResultStore,
 
 
 def _markdown_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    def cell(value: str) -> str:
+        # composed mitigation specs carry a literal '|' stage separator
+        return str(value).replace("|", "\\|")
+
     out = ["| " + " | ".join(header) + " |",
            "| " + " | ".join("---" for _ in header) + " |"]
-    out += ["| " + " | ".join(row) + " |" for row in rows]
+    out += ["| " + " | ".join(cell(c) for c in row) + " |" for row in rows]
     return out
 
 
@@ -92,20 +105,33 @@ def _energy_section(aggregate: CampaignAggregate) -> list[str]:
         # registry order: built-ins first, then registration order
         order = {m: i for i, m in enumerate(method_names())}
         s_order = {s: i for i, s in enumerate(strategy_names())}
+        m_order = {m: i for i, m in enumerate(mitigation_names())}
         entries.sort(key=lambda e: (e["setting"],
                                     order.get(e["method"], len(order)),
                                     e["method"],
                                     s_order.get(e["strategy"],
                                                 len(s_order)),
-                                    e["strategy"]))
+                                    e["strategy"],
+                                    _mitigation_rank(e["mitigation"],
+                                                     m_order),
+                                    e["mitigation"]))
         for entry in entries:
             rows.append([entry["setting"], entry["method"],
-                         entry["strategy"], str(entry["num_seeds"])]
+                         entry["strategy"], entry["mitigation"],
+                         str(entry["num_seeds"])]
                         + [_fmt(entry[t]) for t in TIERS])
         lines += _markdown_table(
-            ["setting", "method", "strategy", "seeds", *TIERS], rows)
+            ["setting", "method", "strategy", "mitigation", "seeds",
+             *TIERS], rows)
         lines.append("")
     return lines
+
+
+def _mitigation_rank(spec: str, order: dict[str, int]) -> int:
+    """Registry rank of a mitigation spec by its leading base name
+    (``"zne:folds=5|readout"`` sorts with ``zne``)."""
+    base = str(spec).split("|", 1)[0].split(":", 1)[0]
+    return order.get(base, len(order))
 
 
 def _eta_section(aggregate: CampaignAggregate, baseline: str,
@@ -119,12 +145,12 @@ def _eta_section(aggregate: CampaignAggregate, baseline: str,
              f"{tier} tier",
              ""]
     rows = [[e["benchmark"], str(e["num_qubits"]), e["setting"],
-             e["strategy"], str(e["num_seeds"]),
+             e["strategy"], e["mitigation"], str(e["num_seeds"]),
              _fmt(e["eta_geomean"], 2)]
             for e in summary]
     lines += _markdown_table(
-        ["benchmark", "qubits", "setting", "strategy", "seeds",
-         "eta (geomean)"], rows)
+        ["benchmark", "qubits", "setting", "strategy", "mitigation",
+         "seeds", "eta (geomean)"], rows)
     lines.append("")
     return lines
 

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from ..hamiltonians.registry import expand_benchmarks
 from ..methods import DEFAULT_METHODS, resolve_methods
+from ..mitigation import DEFAULT_MITIGATION, resolve_mitigation
 from ..optim.engine import EngineConfig
 from ..optim.genetic import GAConfig
 from ..search import DEFAULT_STRATEGY, get_strategy
@@ -152,6 +153,10 @@ class TaskSpec:
         method: Any registered method name (``repro methods``).
         strategy: Any registered search-strategy name
             (``repro strategies``); the default is the Figure-4 engine.
+        mitigation: Mitigation name or composed ``"zne:folds=3|readout"``
+            spec (``repro mitigations``) applied to the task's noisy
+            evaluation tiers; the default ``"none"`` leaves estimates
+            raw (and the payload shape unchanged).
         seed: Cell seed; folded into the engine seed and the VQE seed by
             :meth:`CampaignSpec.tasks` (explicitly constructed tasks may
             decouple them via ``engine["seed"]``).
@@ -177,6 +182,7 @@ class TaskSpec:
     setting: dict
     engine: dict
     strategy: str = DEFAULT_STRATEGY
+    mitigation: str = DEFAULT_MITIGATION
     vqe_iterations: int = 0
     vqe_shots: int | None = None
     entanglement: str = "circular"
@@ -197,13 +203,16 @@ class TaskSpec:
 
     @property
     def label(self) -> str:
-        # the strategy segment appears only off the default, so labels
-        # (and everything keyed on them) are unchanged for GA campaigns
+        # the strategy/mitigation segments appear only off the default,
+        # so labels (and everything keyed on them) are unchanged for
+        # plain GA campaigns
         strategy = ("" if self.strategy == DEFAULT_STRATEGY
                     else f"/{self.strategy}")
+        mitigation = ("" if self.mitigation == DEFAULT_MITIGATION
+                      else f"/{self.mitigation}")
         return (f"{self.benchmark}/{self.num_qubits}q/"
                 f"{setting_label(self.setting)}/{self.method}"
-                f"{strategy}/s{self.seed}")
+                f"{strategy}{mitigation}/s{self.seed}")
 
     # -- JSON ----------------------------------------------------------
     def to_dict(self) -> dict:
@@ -214,6 +223,9 @@ class TaskSpec:
             # against stores recorded before the axis existed) are
             # byte-identical; from_dict restores the default
             del out["strategy"]
+        if out["mitigation"] == DEFAULT_MITIGATION:
+            # same contract for the mitigation axis
+            del out["mitigation"]
         return out
 
     @classmethod
@@ -269,6 +281,7 @@ class TaskSpec:
             vqe_shots=self.vqe_shots,
             seed=self.seed,
             strategy=self.strategy,
+            mitigation=self.mitigation,
         )
         return result.to_dict()
 
@@ -282,8 +295,8 @@ class CampaignSpec:
 
     The grid axes expand in declared order (benchmarks, then qubit sizes,
     then settings -- backends before noise scales -- then methods, then
-    search strategies, then seeds), so ``tasks()`` is a pure function of
-    the spec.
+    search strategies, then mitigations, then seeds), so ``tasks()`` is a
+    pure function of the spec.
 
     Attributes:
         name: Campaign label (store headers, reports).
@@ -302,6 +315,10 @@ class CampaignSpec:
             (``repro strategies``); defaults to the Figure-4
             ``multi_ga`` engine alone, so pre-axis specs expand to the
             same grid.
+        mitigations: Mitigation names and/or composed
+            ``"zne:folds=3|readout"`` specs (``repro mitigations``);
+            defaults to ``["none"]`` alone, so pre-axis specs expand to
+            the same grid with unchanged task ids.
         seeds: Cell seeds; each becomes the engine *and* VQE seed.
         engine_preset / engine_overrides: Base :class:`EngineConfig`
             preset name plus field overrides (e.g. ``{"num_instances":
@@ -319,6 +336,8 @@ class CampaignSpec:
     methods: list[str] = field(default_factory=lambda: list(DEFAULT_METHODS))
     strategies: list[str] = field(
         default_factory=lambda: [DEFAULT_STRATEGY])
+    mitigations: list[str] = field(
+        default_factory=lambda: [DEFAULT_MITIGATION])
     seeds: list[int] = field(default_factory=lambda: [0])
     engine_preset: str = "fast"
     engine_overrides: dict = field(default_factory=dict)
@@ -338,6 +357,14 @@ class CampaignSpec:
                     get_strategy(name)
                 except KeyError as exc:  # did-you-mean, at declaration
                     raise ValueError(str(exc.args[0])) from None
+            if not self.mitigations:
+                raise ValueError("mitigations must name at least one "
+                                 "registered mitigation strategy")
+            for name in self.mitigations:
+                try:
+                    resolve_mitigation(name)
+                except KeyError as exc:  # did-you-mean, at declaration
+                    raise ValueError(str(exc.args[0])) from None
             try:
                 self.expanded_benchmarks()
             except KeyError as exc:  # unknown suite: fail at declaration
@@ -346,7 +373,7 @@ class CampaignSpec:
                 ("benchmarks", self.expanded_benchmarks(lenient=True)),
                 *((a, getattr(self, a)) for a in
                   ("qubit_sizes", "backends", "noise_scales", "methods",
-                   "strategies", "seeds"))):
+                   "strategies", "mitigations", "seeds"))):
             if len(set(values)) != len(values):
                 # duplicates would expand to colliding task ids, leaving
                 # phantom forever-pending tasks in every status count
@@ -420,20 +447,22 @@ class CampaignSpec:
                 for setting in settings:
                     for method in self.methods:
                         for strategy in self.strategies:
-                            for seed in self.seeds:
-                                out.append(TaskSpec(
-                                    benchmark=benchmark,
-                                    num_qubits=num_qubits,
-                                    method=method,
-                                    strategy=strategy,
-                                    seed=seed,
-                                    setting=setting,
-                                    engine=engine_to_dict(
-                                        self.engine_config(seed)),
-                                    vqe_iterations=self.vqe_iterations,
-                                    vqe_shots=self.vqe_shots,
-                                    entanglement=self.entanglement,
-                                ))
+                            for mitigation in self.mitigations:
+                                for seed in self.seeds:
+                                    out.append(TaskSpec(
+                                        benchmark=benchmark,
+                                        num_qubits=num_qubits,
+                                        method=method,
+                                        strategy=strategy,
+                                        mitigation=mitigation,
+                                        seed=seed,
+                                        setting=setting,
+                                        engine=engine_to_dict(
+                                            self.engine_config(seed)),
+                                        vqe_iterations=self.vqe_iterations,
+                                        vqe_shots=self.vqe_shots,
+                                        entanglement=self.entanglement,
+                                    ))
         return out
 
     @property
@@ -443,7 +472,8 @@ class CampaignSpec:
         return (len(self.expanded_benchmarks(lenient=True))
                 * len(self.qubit_sizes)
                 * len(self.settings()) * len(self.methods)
-                * len(self.strategies) * len(self.seeds))
+                * len(self.strategies) * len(self.mitigations)
+                * len(self.seeds))
 
     # -- JSON ----------------------------------------------------------
     def to_dict(self) -> dict:

@@ -7,9 +7,11 @@ the campaign subsystem:
     repro benchmarks --kind physics # registered benchmarks + families
     repro methods                   # registered initialization methods
     repro strategies                # registered search strategies
+    repro mitigations               # registered mitigation strategies
     repro ground-energy xxz_J0.50   # exact E0
     repro run ising:n=6,J=0.5 --backend nairobi --methods cafqa,clapton
     repro run ising:n=6 --strategy annealing --engine-population 20
+    repro run ising:n=6 --mitigation "zne:folds=3|readout"
     repro molecule LiH 1.5          # chemistry pipeline summary
     repro sweep grid.json --jobs 4  # sharded campaign (resume: --resume)
     repro status grid.campaign      # done/failed/pending counts
@@ -95,6 +97,16 @@ def _cmd_strategies(args) -> int:
 
     for name, strategy in available_strategies().items():
         print(f"{name:<18} {strategy.description}")
+    return 0
+
+
+def _cmd_mitigations(args) -> int:
+    from .mitigation import available_mitigations
+
+    for name, mitigation in available_mitigations().items():
+        print(f"{name:<18} {mitigation.description}")
+    print("\ncompose with ':' parameters and '|' stages, e.g. "
+          "\"zne:folds=5,fit=richardson|readout\"")
     return 0
 
 
@@ -200,6 +212,21 @@ def _resolve_strategy_name(name: str) -> str | None:
     return name
 
 
+def _resolve_mitigation_spec(spec: str) -> str | None:
+    """Validate one mitigation spec (name, parameterized, or composed);
+    ``None`` (after a stderr message with a did-you-mean hint) when it
+    does not resolve."""
+    from .mitigation import resolve_mitigation
+
+    try:
+        resolve_mitigation(spec)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        print("see `repro mitigations`", file=sys.stderr)
+        return None
+    return spec
+
+
 def _cmd_run(args) -> int:
     from dataclasses import replace
 
@@ -212,6 +239,9 @@ def _cmd_run(args) -> int:
         return 2
     strategy = _resolve_strategy_name(args.strategy)
     if strategy is None:
+        return 2
+    mitigation = _resolve_mitigation_spec(args.mitigation)
+    if mitigation is None:
         return 2
     if args.backend not in ALL_BACKENDS:
         print(f"unknown backend {args.backend!r}", file=sys.stderr)
@@ -229,9 +259,11 @@ def _cmd_run(args) -> int:
         print(f"cannot build benchmark {args.benchmark!r}: {exc}",
               file=sys.stderr)
         return 2
+    mitigation_tag = ("" if mitigation == "none"
+                      else f", mitigation={mitigation}")
     print(f"{args.benchmark} ({hamiltonian.num_qubits}q) on "
           f"{backend.name}, methods={','.join(methods)}, "
-          f"strategy={strategy}, seed={args.seed}")
+          f"strategy={strategy}{mitigation_tag}, seed={args.seed}")
     executor = ProcessExecutor(args.jobs) if args.jobs > 1 else None
     experiment = Experiment(hamiltonian, backend=backend,
                             name=args.benchmark)
@@ -243,13 +275,16 @@ def _cmd_run(args) -> int:
             from .obs import get_tracer
 
             with get_tracer().span("cli.run", benchmark=args.benchmark,
-                                   strategy=strategy, seed=args.seed):
+                                   strategy=strategy,
+                                   mitigation=mitigation,
+                                   seed=args.seed):
                 result = experiment.run(methods=tuple(methods),
                                         config=config,
                                         vqe_iterations=args.vqe_iterations,
                                         seed=args.seed,
                                         executor=executor,
-                                        strategy=strategy)
+                                        strategy=strategy,
+                                        mitigation=mitigation)
     finally:
         if executor is not None:
             executor.close()
@@ -264,7 +299,12 @@ def _cmd_run(args) -> int:
             print(f"-- {method} --")
         print(f"noise-free      = {evaluation.noiseless:.6f}")
         print(f"clifford model  = {evaluation.clifford_model:.6f}")
-        print(f"device model    = {evaluation.device_model:.6f}")
+        if evaluation.device_model_raw is not None:
+            print(f"device model    = {evaluation.device_model:.6f} "
+                  f"({run.mitigation}; raw "
+                  f"{evaluation.device_model_raw:.6f})")
+        else:
+            print(f"device model    = {evaluation.device_model:.6f}")
         if run.vqe is not None:
             print(f"VQE final       = {run.vqe.final_energy:.6f} "
                   f"({run.vqe.num_evaluations} evaluations: "
@@ -347,6 +387,20 @@ def _cmd_sweep(args) -> int:
             if _resolve_strategy_name(name) is None:
                 return 2
         changes["strategies"] = names
+    if args.mitigations:
+        from .mitigation import split_mitigation_specs
+
+        # spec-aware split: "," inside one spec's parameters (e.g.
+        # "zne:folds=3,fit=exp") does not separate axis values
+        specs = split_mitigation_specs(args.mitigations)
+        if not specs:
+            print("no mitigations given; see `repro mitigations`",
+                  file=sys.stderr)
+            return 2
+        for spec_text in specs:
+            if _resolve_mitigation_spec(spec_text) is None:
+                return 2
+        changes["mitigations"] = specs
     overrides = _engine_overrides(args)
     if overrides:
         changes["engine_overrides"] = {**spec.engine_overrides,
@@ -607,8 +661,14 @@ def _cmd_report(args) -> int:
               f"methods: {store.spec.methods}", file=sys.stderr)
         return 2
     aggregate = CampaignAggregate.from_store(store)
-    print(render_report(store, tier=args.tier, aggregate=aggregate,
-                        improver=improver), end="")
+    try:
+        print(render_report(store, tier=args.tier, aggregate=aggregate,
+                            improver=improver, strategy=args.strategy,
+                            mitigation=args.mitigation), end="")
+    except KeyError as exc:
+        # filtered() names the campaign's actual axis values
+        print(exc.args[0], file=sys.stderr)
+        return 2
     if args.csv:
         aggregate.write_csv(args.csv)
         print(f"\nrow-level CSV written to {args.csv}")
@@ -905,6 +965,10 @@ def build_parser() -> argparse.ArgumentParser:
         "strategies", help="list registered search strategies")
     p_strategies.set_defaults(fn=_cmd_strategies)
 
+    p_mitigations = sub.add_parser(
+        "mitigations", help="list registered mitigation strategies")
+    p_mitigations.set_defaults(fn=_cmd_mitigations)
+
     p_bench = sub.add_parser(
         "benchmarks",
         help="list registered benchmarks, families, and suites")
@@ -929,6 +993,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--strategy", default="multi_ga",
                        help="search strategy every method searches with "
                             "(see `repro strategies`)")
+    p_run.add_argument("--mitigation", default="none",
+                       help="mitigation applied to noisy evaluations, "
+                            "e.g. zne:folds=3 or \"zne|readout\" "
+                            "(see `repro mitigations`)")
     p_run.add_argument("--qubits", type=int, default=6)
     p_run.add_argument("--vqe-iterations", type=int, default=0,
                        help="SPSA iterations of the online VQE phase")
@@ -957,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated search strategies "
                               "overriding the spec's strategy axis "
                               "(see `repro strategies`)")
+    p_sweep.add_argument("--mitigations", "--mitigation",
+                         dest="mitigations",
+                         help="comma-separated mitigation specs "
+                              "overriding the spec's mitigation axis, "
+                              "e.g. none,zne:folds=3,\"zne|readout\" "
+                              "(see `repro mitigations`)")
     p_sweep.add_argument("--max-attempts", type=int, default=1,
                          help="executions a failing cell gets this run "
                               "(retried with exponential backoff)")
@@ -1106,6 +1180,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="method the eta tables credit improvements "
                                "to (default: clapton); must be one of the "
                                "campaign's methods")
+    p_report.add_argument("--strategy", default=None,
+                          help="only rows with this search strategy "
+                               "(errors list the campaign's strategies)")
+    p_report.add_argument("--mitigation", default=None,
+                          help="only rows with this mitigation spec "
+                               "(errors list the campaign's mitigations)")
     p_report.set_defaults(fn=_cmd_report)
 
     p_mol = sub.add_parser("molecule", help="build a molecular Hamiltonian")

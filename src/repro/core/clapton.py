@@ -54,6 +54,12 @@ class InitializationResult:
             genome (strategy name + per-round trace); ``None`` for
             methods whose overridden search returns bare engine
             bookkeeping.
+        mitigation: Canonical name of the mitigation strategy requested
+            for this run's noisy evaluations (``repro mitigations``);
+            ``"none"`` -- the default -- leaves every estimate raw.
+            Recorded here so downstream evaluation surfaces
+            (``evaluate_initial_point``, ``run_vqe``) pick it up without
+            re-threading the axis.
     """
 
     method: str
@@ -65,6 +71,7 @@ class InitializationResult:
     initial_theta: np.ndarray
     init_circuit: Circuit | None = None
     search: "SearchResult | None" = None
+    mitigation: str = "none"
 
     # ------------------------------------------------------------------
     # The initial point, as evaluated on the device register

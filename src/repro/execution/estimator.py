@@ -297,6 +297,18 @@ class ExactEstimator(BaseEstimator):
         self._paulis = [p for _, p in observable.terms()]
         self._coefficients = observable.coefficients
 
+    def with_problem(self, problem: "VQEProblem") -> "ExactEstimator":
+        """Clone over another problem (same observable, model, rng stream).
+
+        Mitigation strategies use this to evaluate folded circuit variants:
+        the clone shares this estimator's shot-noise generator, so a stack
+        that touches several variants draws from one deterministic stream.
+        """
+        clone = ExactEstimator(problem, self.observable,
+                               noise_model=self.noise_model, shots=self.shots)
+        clone.rng = self.rng
+        return clone
+
     def _finish(self, circuit: Circuit, start: float) -> EstimateResult:
         sim = evolve_with_noise(circuit, self.noise_model)
         values = np.array([sim.pauli_expectation(p) for p in self._paulis])
@@ -456,6 +468,14 @@ class ShotSamplingEstimator(BaseEstimator):
         self._rotations = [g.basis_rotation(problem.num_eval_qubits)
                            for g in self.groups]
 
+    def with_problem(self, problem: "VQEProblem") -> "ShotSamplingEstimator":
+        """Clone over another problem (same observable, model, rng stream)."""
+        clone = ShotSamplingEstimator(
+            problem, self.observable, noise_model=self.noise_model,
+            shots=self.shots, readout_mitigation=self.readout_mitigation)
+        clone.rng = self.rng
+        return clone
+
     @property
     def num_bases(self) -> int:
         return len(self.groups)
@@ -522,6 +542,12 @@ class CliffordEstimator(BaseEstimator):
             self.noise_model)
         self._coefficients = observable.coefficients
         self._clifford_plan = None
+
+    def with_problem(self, problem: "VQEProblem") -> "CliffordEstimator":
+        """Clone over another problem (same observable and noise models)."""
+        return CliffordEstimator(problem, self.observable,
+                                 noise_model=self.noise_model,
+                                 clifford_model=self.clifford_model)
 
     def _finish(self, circuit: Circuit, start: float) -> EstimateResult:
         if not circuit.is_clifford():

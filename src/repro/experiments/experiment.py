@@ -15,6 +15,7 @@ every surface produces identical numbers for identical seeds.
 
 from __future__ import annotations
 
+import inspect
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -65,6 +66,9 @@ class MethodRun:
         strategy: Search-strategy label that produced the genome
             (``repro strategies``; ``"none"``/``"best_of_k"`` for methods
             with their own search shape).
+        mitigation: Canonical mitigation-strategy label applied to the
+            noisy evaluation tiers (``repro mitigations``); ``"none"``
+            means every estimate is raw.
         search_trace: Per-round :class:`~repro.search.SearchTrace`
             payloads, in execution order.
         cache_stats: Memo-table accounting of the search (``hits`` /
@@ -83,26 +87,36 @@ class MethodRun:
     seconds: float
     vqe: VQETrace | None = None
     strategy: str = "multi_ga"
+    mitigation: str = "none"
     search_trace: list = field(default_factory=list)
     cache_stats: dict | None = None
 
     def to_dict(self) -> dict:
         ev = self.evaluation
-        out = {
-            "method": self.method,
-            "genome": np.asarray(self.genome).tolist(),
-            "loss": float(self.loss),
-            "evaluation": None if ev is None else {
+        evaluation = None
+        if ev is not None:
+            evaluation = {
                 "noiseless": ev.noiseless,
                 "clifford_model": ev.clifford_model,
                 "device_model": ev.device_model,
                 "hardware": ev.hardware,
-            },
+            }
+            if ev.device_model_raw is not None:
+                evaluation["device_model_raw"] = ev.device_model_raw
+        out = {
+            "method": self.method,
+            "genome": np.asarray(self.genome).tolist(),
+            "loss": float(self.loss),
+            "evaluation": evaluation,
             "engine_rounds": self.engine_rounds,
             "engine_evaluations": self.engine_evaluations,
             "engine_seconds": self.engine_seconds,
             "seconds": self.seconds,
             "strategy": self.strategy,
+            # omitted when "none" so pre-mitigation payloads stay
+            # byte-identical (and so do their content hashes)
+            **({"mitigation": self.mitigation}
+               if self.mitigation != "none" else {}),
             "search_trace": [dict(t) for t in self.search_trace],
             "cache_stats": (None if self.cache_stats is None
                             else dict(self.cache_stats)),
@@ -152,6 +166,7 @@ class MethodRun:
             vqe=vqe,
             # pre-strategy-axis payloads lack these keys
             strategy=data.get("strategy", "multi_ga"),
+            mitigation=data.get("mitigation", "none"),
             search_trace=list(data.get("search_trace") or []),
             cache_stats=data.get("cache_stats"),
         )
@@ -311,7 +326,7 @@ class Experiment:
             vqe_iterations: int = 0, vqe_shots: int | None = None,
             seed: int = 0, executor: Executor | None = None,
             evaluate_tiers: bool = True, strategy=None,
-            budget=None) -> ExperimentResult:
+            budget=None, mitigation=None) -> ExperimentResult:
         """Run the requested methods and evaluate all tiers.
 
         Args:
@@ -336,8 +351,15 @@ class Experiment:
                 strategies`` lists what is registered).
             budget: Optional :class:`~repro.search.SearchBudget` capping
                 each method's search.
+            mitigation: Registered mitigation name, composed
+                ``"zne:folds=3|readout"`` spec, or
+                :class:`~repro.mitigation.MitigationStrategy` instance
+                applied to every method's noisy evaluation tiers and VQE
+                endpoint energies (default ``none``; ``repro mitigations``
+                lists what is registered).
         """
         from ..methods import resolve_methods
+        from ..mitigation import resolve_mitigation
         from ..search import resolve_strategy
 
         if config is None:
@@ -347,6 +369,7 @@ class Experiment:
         resolved = resolve_methods(methods)  # ValueError on unknown names
         if strategy is not None:
             strategy = resolve_strategy(strategy)  # KeyError did-you-mean
+        mitigation = resolve_mitigation(mitigation)  # KeyError did-you-mean
         start = time.perf_counter()
         e0 = (self.e0 if self.e0 is not None
               else ground_state_energy(self.hamiltonian))
@@ -354,16 +377,31 @@ class Experiment:
         results: dict[str, InitializationResult] = {}
         for method in resolved:
             method_start = time.perf_counter()
-            result = method.run(self.problem, config=config,
-                                executor=executor, strategy=strategy,
-                                budget=budget)
+            run_params = inspect.signature(method.run).parameters
+            takes_mitigation = (
+                "mitigation" in run_params
+                or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                       for p in run_params.values()))
+            if takes_mitigation:
+                result = method.run(self.problem, config=config,
+                                    executor=executor, strategy=strategy,
+                                    budget=budget, mitigation=mitigation)
+            else:
+                # pre-mitigation-axis override: run raw, then stamp the
+                # axis so downstream evaluation still applies it
+                result = method.run(self.problem, config=config,
+                                    executor=executor, strategy=strategy,
+                                    budget=budget)
+                result.mitigation = mitigation.name
             results[method.name] = result
-            evaluation = (evaluate_initial_point(result)
+            evaluation = (evaluate_initial_point(result,
+                                                 mitigation=mitigation)
                           if evaluate_tiers else None)
             trace = None
             if vqe_iterations > 0:
                 trace = run_vqe(result, maxiter=vqe_iterations,
-                                shots=vqe_shots, seed=seed)
+                                shots=vqe_shots, seed=seed,
+                                mitigation=mitigation)
             search = result.search
             runs[method.name] = MethodRun(
                 method=method.name,
@@ -377,6 +415,7 @@ class Experiment:
                 vqe=trace,
                 strategy=(search.strategy if search is not None
                           else "multi_ga"),
+                mitigation=mitigation.name,
                 search_trace=(search.trace_dicts() if search is not None
                               else []),
                 cache_stats=(search.cache_stats if search is not None

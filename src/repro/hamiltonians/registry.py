@@ -28,11 +28,11 @@ and reports.
 
 from __future__ import annotations
 
-import difflib
 import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..naming import did_you_mean
 from ..paulis.pauli_sum import PauliSum
 from .spin_models import PAPER_COUPLINGS, ising_model, xxz_model
 
@@ -191,8 +191,7 @@ def _family_benchmark(spec: str, family_name: str,
                       params: dict) -> Benchmark:
     family = _FAMILIES.get(family_name)
     if family is None:
-        close = difflib.get_close_matches(family_name, _FAMILIES, n=1)
-        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        hint = did_you_mean(family_name, _FAMILIES)
         raise KeyError(
             f"unknown benchmark family {family_name!r}{hint}; registered "
             f"families: {sorted(_FAMILIES)}")
@@ -336,9 +335,7 @@ def get_benchmark(name: str, num_qubits: int = 10) -> Benchmark:
         return _family_benchmark(name, name,
                                  _default_n(name, {}, num_qubits))
     known = [b.name for b in paper_benchmarks(num_qubits)]
-    close = difflib.get_close_matches(
-        name, known + sorted(_FAMILIES), n=1)
-    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    hint = did_you_mean(name, known + sorted(_FAMILIES))
     raise KeyError(
         f"unknown benchmark {name!r}{hint}; known: {known}; families "
         f"(parameterize as 'family:key=value,...'): {sorted(_FAMILIES)}")

@@ -118,14 +118,22 @@ class InitializationMethod(abc.ABC):
                                  executor=executor)
 
     def run(self, problem: VQEProblem, config: EngineConfig | None = None,
-            executor=None, strategy=None,
-            budget=None) -> InitializationResult:
+            executor=None, strategy=None, budget=None,
+            mitigation=None) -> InitializationResult:
         """Search, decode the best genome, and bundle the result.
 
         ``strategy`` names any registered :class:`~repro.search.
         SearchStrategy` (default ``multi_ga``); ``budget`` optionally
         caps the search (see :class:`~repro.search.SearchBudget`).
+        ``mitigation`` names a registered mitigation strategy or a
+        ``"zne:folds=3|readout"`` spec (default ``none``): the discrete
+        search itself is never mitigated -- mitigation acts on measured
+        energies -- but the resolved name is validated here and recorded
+        on the result so every downstream evaluation applies it.
         """
+        from ..mitigation import resolve_mitigation as _resolve_mitigation
+
+        mitigation_name = _resolve_mitigation(mitigation).name
         params = inspect.signature(self.search).parameters
         takes_axis = ("strategy" in params
                       or any(p.kind is inspect.Parameter.VAR_KEYWORD
@@ -162,6 +170,7 @@ class InitializationMethod(abc.ABC):
             initial_theta=decoded.initial_theta,
             init_circuit=decoded.init_circuit,
             search=search,
+            mitigation=mitigation_name,
         )
 
     def __repr__(self) -> str:  # registry listings, error messages

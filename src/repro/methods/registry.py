@@ -18,8 +18,7 @@ registered methods.
 
 from __future__ import annotations
 
-import difflib
-
+from ..naming import did_you_mean
 from .base import InitializationMethod
 
 #: The built-in trio, in the paper's presentation order.  This is the
@@ -77,18 +76,14 @@ def available_methods() -> dict[str, InitializationMethod]:
     return dict(_REGISTRY)
 
 
-def _suggestion(name: str) -> str:
-    close = difflib.get_close_matches(name, _REGISTRY, n=1)
-    return f" (did you mean {close[0]!r}?)" if close else ""
-
-
 def get_method(name: str) -> InitializationMethod:
     """Look up a registered method; ``KeyError`` with a did-you-mean hint."""
     try:
         return _REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown method {name!r}{_suggestion(name)}; registered "
+            f"unknown method {name!r}{did_you_mean(name, _REGISTRY)}; "
+            f"registered "
             f"methods: {list(_REGISTRY)}") from None
 
 
@@ -119,6 +114,6 @@ def resolve_methods(methods=None) -> list[InitializationMethod]:
                 f"InitializationMethod instances, got {method!r}")
     if unknown:
         raise ValueError(
-            f"unknown methods {unknown}{_suggestion(unknown[0])}; "
+            f"unknown methods {unknown}{did_you_mean(unknown[0], _REGISTRY)}; "
             f"registered methods: {list(_REGISTRY)}")
     return resolved

@@ -9,7 +9,7 @@ the effective error rate by the (odd) fold factor.
 
 from __future__ import annotations
 
-from ..circuits.circuit import Circuit, Instruction
+from ..circuits.circuit import Circuit, Instruction, Parameter
 
 
 def _inverse_instruction(inst: Instruction) -> Instruction:
@@ -55,6 +55,54 @@ def fold_gates(circuit: Circuit, scale: int,
         for _ in range(folds):
             out.instructions.append(_inverse_instruction(inst))
             out.instructions.append(inst)
+    return out
+
+
+def fold_template_global(template: Circuit, scale: int) -> Circuit:
+    """Globally fold a *parameterized* ansatz template.
+
+    ``Circuit.inverse`` cannot negate symbolic :class:`Parameter` angles, so
+    this variant gives every fold block its own parameter window: block ``b``
+    of a ``P``-parameter template references indices ``b*P .. b*P + P - 1``.
+    Binding the folded template with the tiled vector
+
+        ``theta_ext = [theta, -theta, theta, -theta, ...]``
+
+    (sign flipped on the inverse blocks, since ``r(-t) = r(t)^dagger`` for
+    every rotation gate) reproduces ``C (C^dagger C)^k`` at ``theta``
+    exactly -- see ``_ZNEEstimator``, which performs that tiling.  Bound
+    circuits (``P == 0``) fold like :func:`fold_global`.
+    """
+    _check_scale(scale)
+    from dataclasses import replace
+
+    from ..circuits.circuit import _INVERSE_NAME
+
+    num_params = template.num_parameters
+    out = Circuit(template.num_qubits)
+
+    def _offset(inst: Instruction, offset: int) -> Instruction:
+        params = tuple(Parameter(p.index + offset) if isinstance(p, Parameter)
+                       else p for p in inst.params)
+        return replace(inst, params=params)
+
+    for block in range(scale):
+        offset = block * num_params
+        if block % 2 == 0:
+            for inst in template.instructions:
+                out.instructions.append(_offset(inst, offset))
+            continue
+        for inst in reversed(template.instructions):
+            if inst.spec.num_params:
+                # symbolic angles keep their gate; the caller's sign-flipped
+                # theta window supplies the inversion
+                params = tuple(
+                    Parameter(p.index + offset) if isinstance(p, Parameter)
+                    else -float(p) for p in inst.params)
+                out.instructions.append(replace(inst, params=params))
+            else:
+                name = _INVERSE_NAME.get(inst.name, inst.name)
+                out.instructions.append(replace(inst, name=name))
     return out
 
 

@@ -1,0 +1,193 @@
+"""The open mitigation registry: ``@register_mitigation`` + spec grammar.
+
+Every consumer of the mitigation axis -- ``Experiment.run``,
+``InitializationMethod.run``, campaign specs, the CLI -- resolves
+mitigation selections through this module, so a strategy registered from
+user code (no core edits) runs everywhere a built-in does::
+
+    from repro.mitigation import MitigationStrategy, register_mitigation
+
+    @register_mitigation
+    class MyMitigation(MitigationStrategy):
+        name = "my_mitigation"
+        description = "one line for `repro mitigations`"
+        ...
+
+Beyond bare names, :func:`resolve_mitigation` understands a declarative
+spec grammar::
+
+    none                      the default (bit-identical passthrough)
+    zne:folds=5,fit=exp       a parameterized stage (key=value, ','-joined)
+    zne:folds=3|readout       a '|'-composed stack, leftmost outermost
+
+Lookups of unknown names fail with a did-you-mean suggestion naming the
+registered mitigations (via the shared ``repro.naming`` helper).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..naming import did_you_mean
+from .strategies import (
+    ComposedMitigation,
+    MitigationStrategy,
+    NoMitigation,
+    ReadoutMitigation,
+    ZNEMitigation,
+)
+
+#: The strategy every surface defaults to: no mitigation at all.  Campaign
+#: task ids and labels omit the axis at this value, so default grids stay
+#: byte-identical to pre-mitigation stores.
+DEFAULT_MITIGATION = "none"
+
+_REGISTRY: dict[str, MitigationStrategy] = {}
+
+
+def register_mitigation(strategy=None, *, replace: bool = False):
+    """Register a :class:`MitigationStrategy` class or instance.
+
+    Usable as a bare decorator (``@register_mitigation``), a parameterized
+    one (``@register_mitigation(replace=True)``), or a plain call
+    (``register_mitigation(instance)``).  Classes are instantiated with no
+    arguments; pre-built instances register as-is (use this for
+    parameterized variants).  Returns the decorated object unchanged.
+    """
+    def _register(obj):
+        instance = obj() if isinstance(obj, type) else obj
+        if not isinstance(instance, MitigationStrategy):
+            raise TypeError(
+                f"register_mitigation needs a MitigationStrategy subclass "
+                f"or instance, got {obj!r}")
+        name = instance.name
+        if not name:
+            raise ValueError(
+                f"{type(instance).__name__} has no `name`; set the class "
+                f"attribute before registering")
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"mitigation {name!r} is already registered "
+                f"({_REGISTRY[name]!r}); pass replace=True to override")
+        _REGISTRY[name] = instance
+        return obj
+
+    if strategy is None:
+        return _register
+    return _register(strategy)
+
+
+def unregister_mitigation(name: str) -> None:
+    """Remove a registered mitigation (primarily for test cleanup)."""
+    _REGISTRY.pop(name, None)
+
+
+def mitigation_names() -> tuple[str, ...]:
+    """Registered names, in registration order (built-ins first)."""
+    return tuple(_REGISTRY)
+
+
+def available_mitigations() -> dict[str, MitigationStrategy]:
+    """Name -> instance snapshot of the registry."""
+    return dict(_REGISTRY)
+
+
+def get_mitigation(name: str) -> MitigationStrategy:
+    """Look up a registered mitigation; ``KeyError`` with a did-you-mean
+    hint."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mitigation {name!r}{did_you_mean(name, _REGISTRY)}; "
+            f"registered mitigations: {list(_REGISTRY)}") from None
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_mitigation(spec: str) -> MitigationStrategy:
+    """Parse a declarative spec into a (possibly composed) strategy.
+
+    Grammar: ``stage("|" stage)*`` where a stage is
+    ``name(":" key "=" value ("," key "=" value)*)?``.  Stage names resolve
+    through the registry (did-you-mean on typos); parameters go through the
+    prototype's ``parameterize``.
+    """
+    stages = []
+    for part in str(spec).split("|"):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty stage in mitigation spec {spec!r}")
+        name, colon, param_text = part.partition(":")
+        base = get_mitigation(name.strip())
+        params = {}
+        if colon:
+            for fragment in param_text.split(","):
+                key, eq, value = fragment.partition("=")
+                if not eq or not key.strip():
+                    raise ValueError(
+                        f"malformed parameter {fragment!r} in mitigation "
+                        f"spec {spec!r}; expected key=value")
+                params[key.strip()] = _parse_value(value.strip())
+        stages.append(base.parameterize(**params) if params else base)
+    if len(stages) == 1:
+        return stages[0]
+    return ComposedMitigation(stages)
+
+
+def resolve_mitigation(mitigation=None) -> MitigationStrategy:
+    """Normalize a mitigation selection into a strategy instance.
+
+    Accepts ``None`` (the ``none`` default), a registered name, a spec in
+    the ``"zne:folds=3|readout"`` grammar, or a
+    :class:`MitigationStrategy` instance.
+    """
+    if mitigation is None:
+        mitigation = DEFAULT_MITIGATION
+    if isinstance(mitigation, MitigationStrategy):
+        return mitigation
+    if isinstance(mitigation, str):
+        if mitigation in _REGISTRY:
+            return _REGISTRY[mitigation]
+        return parse_mitigation(mitigation)
+    raise TypeError(
+        f"mitigation must be a registered name, a 'zne:folds=3|readout' "
+        f"spec, or a MitigationStrategy instance, got {mitigation!r}")
+
+
+_PARAM_FRAGMENT = re.compile(r"^[A-Za-z_]\w*=")
+
+
+def split_mitigation_specs(text: str) -> list[str]:
+    """Split a comma-separated CLI list of mitigation specs.
+
+    Specs themselves contain commas (``zne:folds=3,fit=exp``), so a naive
+    split would shear them apart; bare ``key=value`` fragments are glued
+    back onto the preceding spec (mitigation *names* never contain ``=``)::
+
+        "none,zne:folds=3,fit=exp,readout"
+            -> ["none", "zne:folds=3,fit=exp", "readout"]
+    """
+    specs: list[str] = []
+    for fragment in str(text).split(","):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        if specs and _PARAM_FRAGMENT.match(fragment):
+            specs[-1] += "," + fragment
+        else:
+            specs.append(fragment)
+    return specs
+
+
+# Built-ins, in the order `repro mitigations` lists them.
+for _builtin in (NoMitigation, ZNEMitigation, ReadoutMitigation):
+    register_mitigation(_builtin)
+del _builtin

@@ -21,10 +21,28 @@ from ..paulis.pauli_sum import PauliSum
 from .folding import fold_gates, fold_global
 
 
+def _checked_curve(scales: Sequence[float], values: Sequence[float],
+                   what: str) -> tuple[np.ndarray, np.ndarray]:
+    """Shared input validation: matching shapes, >= 2 finite points."""
+    scales = np.asarray(scales, float)
+    values = np.asarray(values, float)
+    if scales.shape != values.shape or scales.ndim != 1:
+        raise ValueError(
+            f"{what} needs matching 1-D scales/values, got shapes "
+            f"{scales.shape} and {values.shape}")
+    if scales.size < 2:
+        raise ValueError(
+            f"{what} needs at least two scale points, got {scales.size}")
+    if not (np.all(np.isfinite(scales)) and np.all(np.isfinite(values))):
+        raise ValueError(f"{what} needs finite scales and values")
+    return scales, values
+
+
 def linear_extrapolation(scales: Sequence[float],
                          values: Sequence[float]) -> float:
     """Least-squares straight line, evaluated at scale 0."""
-    coeffs = np.polyfit(np.asarray(scales, float), np.asarray(values, float), 1)
+    scales, values = _checked_curve(scales, values, "linear extrapolation")
+    coeffs = np.polyfit(scales, values, 1)
     return float(coeffs[-1])
 
 
@@ -36,8 +54,8 @@ def richardson_extrapolation(scales: Sequence[float],
     interpolant's constant term.  Sensitive to noise in the values; prefer
     linear for sampled estimates.
     """
-    scales = np.asarray(scales, float)
-    values = np.asarray(values, float)
+    scales, values = _checked_curve(scales, values,
+                                    "Richardson extrapolation")
     if len(np.unique(scales)) != len(scales):
         raise ValueError("Richardson extrapolation needs distinct scales")
     total = 0.0
@@ -58,14 +76,36 @@ def exponential_extrapolation(scales: Sequence[float],
     Matches the physical decay of Pauli-channel attenuation with fold
     factor; ``asymptote`` defaults to the fully mixed limit of a traceless
     observable.
+
+    Raises ``ValueError`` when the model cannot describe the curve: fewer
+    than two distinct scales, a value sitting exactly on the asymptote, a
+    sign change across scales, or magnitudes that *grow* with scale (a
+    decaying exponential cannot produce any of these, and silently fitting
+    one returns a garbage extrapolant).  Callers that must stay robust on
+    arbitrary noisy curves (``zne_energy``, the ``zne`` mitigation
+    strategy) catch the error and fall back to the straight line, which is
+    always defined.
     """
-    values = np.asarray(values, float) - asymptote
-    if np.any(values <= 0) and np.any(values >= 0) and values.prod() < 0:
-        # sign change: exponential model invalid; fall back to linear
-        return linear_extrapolation(scales, values + asymptote)
+    scales, raw = _checked_curve(scales, values, "exponential extrapolation")
+    if len(np.unique(scales)) < 2:
+        raise ValueError(
+            "exponential extrapolation needs at least two distinct scales")
+    values = raw - asymptote
+    if np.any(values == 0.0):
+        raise ValueError(
+            "exponential extrapolation undefined: a value sits exactly on "
+            "the asymptote")
+    if np.any(values > 0) and np.any(values < 0):
+        raise ValueError(
+            "values change sign across scales; the exponential decay model "
+            "does not apply")
     sign = 1.0 if values[0] >= 0 else -1.0
-    logs = np.log(np.abs(values) + 1e-300)
-    slope, intercept = np.polyfit(np.asarray(scales, float), logs, 1)
+    logs = np.log(np.abs(values))
+    slope, intercept = np.polyfit(scales, logs, 1)
+    if slope > 0.0:
+        raise ValueError(
+            "values do not decay with scale (fitted growth rate "
+            f"{slope:.3g} > 0); refusing a non-physical extrapolant")
     return float(sign * np.exp(intercept) + asymptote)
 
 
@@ -117,7 +157,12 @@ def zne_energy(circuit: Circuit, observable: PauliSum,
         values.append(noisy_energy(folded, observable, noise_model))
     if method == "exponential":
         asymptote = observable.identity_constant()
-        mitigated = exponential_extrapolation(scales, values, asymptote)
+        try:
+            mitigated = exponential_extrapolation(scales, values, asymptote)
+        except ValueError:
+            # degenerate curve (sign change, growth, on-asymptote point):
+            # the straight line is always defined
+            mitigated = linear_extrapolation(scales, values)
     else:
         mitigated = _EXTRAPOLATORS[method](scales, values)
     return ZNEResult(mitigated=mitigated, scales=tuple(scales),

@@ -8,9 +8,13 @@ the wall-clock go?*
 Every span's **self time** is its duration minus its children's
 durations (clamped at zero: children running concurrently on other
 threads can sum past the parent).  Self times are then classified into
-three buckets by span name:
+four buckets by span name:
 
 - ``loss_eval``      -- names starting with ``loss.`` (the physics)
+- ``mitigation``     -- names starting with ``mitigation.`` (folding,
+  extrapolation, readout inversion; the raw evaluations a wrapped
+  estimator issues re-appear as ``loss.`` children, so this bucket is
+  mitigation *overhead* only)
 - ``idle``           -- names containing ``idle`` (polling, backoff)
 - ``orchestration``  -- everything else (the tax this repo controls)
 
@@ -28,6 +32,8 @@ from pathlib import Path
 def bucket_of(name: str) -> str:
     if name.startswith("loss."):
         return "loss_eval"
+    if name.startswith("mitigation."):
+        return "mitigation"
     if "idle" in name:
         return "idle"
     return "orchestration"
@@ -132,7 +138,8 @@ def summarize_spans(spans: list[dict], meta: dict | None = None) -> TraceSummary
         return result
 
     nodes: dict[tuple[str, ...], SummaryRow] = {}
-    buckets = {"loss_eval": 0.0, "orchestration": 0.0, "idle": 0.0}
+    buckets = {"loss_eval": 0.0, "mitigation": 0.0,
+               "orchestration": 0.0, "idle": 0.0}
     starts, ends = [], []
     for span in spans:
         starts.append(span["start"])
@@ -185,6 +192,7 @@ def render_summary(summary: TraceSummary, max_depth: int = 6) -> str:
     lines.append("")
     lines.append("bucket           seconds      share")
     order = [("loss evaluation", "loss_eval"),
+             ("mitigation", "mitigation"),
              ("orchestration", "orchestration"),
              ("idle", "idle")]
     for label, key in order:

@@ -19,8 +19,7 @@ registered strategies (mirroring ``repro.methods``).
 
 from __future__ import annotations
 
-import difflib
-
+from ..naming import did_you_mean
 from .base import SearchStrategy
 
 #: The strategy every surface defaults to: the paper's Figure-4 engine.
@@ -76,11 +75,6 @@ def available_strategies() -> dict[str, SearchStrategy]:
     return dict(_REGISTRY)
 
 
-def _suggestion(name: str) -> str:
-    close = difflib.get_close_matches(name, _REGISTRY, n=1)
-    return f" (did you mean {close[0]!r}?)" if close else ""
-
-
 def get_strategy(name: str) -> SearchStrategy:
     """Look up a registered strategy; ``KeyError`` with a did-you-mean
     hint."""
@@ -88,7 +82,8 @@ def get_strategy(name: str) -> SearchStrategy:
         return _REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown strategy {name!r}{_suggestion(name)}; registered "
+            f"unknown strategy {name!r}{did_you_mean(name, _REGISTRY)}; "
+            f"registered "
             f"strategies: {list(_REGISTRY)}") from None
 
 

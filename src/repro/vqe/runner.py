@@ -75,7 +75,8 @@ class VQETrace:
 
 def run_vqe(result: InitializationResult, maxiter: int = 300,
             shots: int | None = None, seed: int | None = 0,
-            spsa_config: SPSAConfig | None = None) -> VQETrace:
+            spsa_config: SPSAConfig | None = None,
+            mitigation=None) -> VQETrace:
     """Run SPSA-driven VQE from an initialization result.
 
     Args:
@@ -85,12 +86,26 @@ def run_vqe(result: InitializationResult, maxiter: int = 300,
         shots: Optional per-term shot budget for sampling-noise emulation.
         seed: Seed shared by SPSA perturbations and shot noise.
         spsa_config: Full SPSA override (``maxiter``/``seed`` ignored then).
+        mitigation: Mitigation name / ``"zne:folds=3|readout"`` spec /
+            strategy instance applied to the *endpoint* energies (the
+            reported initial/final and hardware-twin values); ``None``
+            falls back to the mitigation recorded on ``result``.  The SPSA
+            loop itself always optimizes raw noisy energies -- the paper's
+            online phase -- so ``"none"`` runs are bit-identical to the
+            pre-mitigation flow.
     """
+    from ..mitigation import resolve_mitigation
+
     problem = result.problem
     observable = result.initial_observable()
+    if mitigation is None:
+        mitigation = getattr(result, "mitigation", None)
+    strategy = resolve_mitigation(mitigation)
     noisy = make_estimator(problem, observable, mode="exact", shots=shots,
                            seed=seed)
     exact = make_estimator(problem, observable, mode="exact")
+    if strategy.name != "none":
+        exact = strategy.wrap(exact)
 
     config = spsa_config or SPSAConfig(maxiter=maxiter, seed=seed)
     theta0 = np.asarray(result.initial_theta, dtype=float)
@@ -104,6 +119,8 @@ def run_vqe(result: InitializationResult, maxiter: int = 300,
     if problem.hardware_noise_model is not None:
         hardware = make_estimator(problem, observable, mode="exact",
                                   noise_model=problem.hardware_noise_model)
+        if strategy.name != "none":
+            hardware = strategy.wrap(hardware)
         hardware_initial = hardware.energy(theta0)
         hardware_final = hardware.energy(spsa.x)
         tiers["hardware"] = hardware.num_evaluations

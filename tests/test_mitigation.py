@@ -13,6 +13,7 @@ from repro.mitigation import (
     exponential_extrapolation,
     fold_gates,
     fold_global,
+    fold_template_global,
     linear_extrapolation,
     mitigate_counts,
     mitigate_probabilities,
@@ -184,3 +185,98 @@ class TestReadoutMitigation:
         mitigated = mitigate_counts({"0": 999, "1": 1}, nm)
         assert (mitigated >= 0).all()
         assert mitigated.sum() == pytest.approx(1.0)
+
+
+class TestExtrapolationHardening:
+    """Degenerate curves must raise clear ValueErrors, never fit garbage."""
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching 1-D"):
+            linear_extrapolation([1, 3, 5], [1.0, 2.0])
+        with pytest.raises(ValueError, match="matching 1-D"):
+            richardson_extrapolation([[1, 3]], [[1.0, 2.0]])
+
+    def test_too_few_points_rejected(self):
+        for extrapolate in (linear_extrapolation, richardson_extrapolation,
+                            exponential_extrapolation):
+            with pytest.raises(ValueError, match="at least two"):
+                extrapolate([1], [0.5])
+            with pytest.raises(ValueError):
+                extrapolate([], [])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            linear_extrapolation([1, 3], [1.0, float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            exponential_extrapolation([1, float("inf")], [1.0, 0.5])
+
+    def test_richardson_duplicate_scales_rejected(self):
+        with pytest.raises(ValueError, match="distinct scales"):
+            richardson_extrapolation([1, 3, 3], [1.0, 0.5, 0.4])
+
+    def test_exponential_needs_distinct_scales(self):
+        with pytest.raises(ValueError, match="distinct scales"):
+            exponential_extrapolation([3, 3], [0.5, 0.4])
+
+    def test_exponential_value_on_asymptote_rejected(self):
+        with pytest.raises(ValueError, match="asymptote"):
+            exponential_extrapolation([1, 3, 5], [0.5, 0.0, 0.1])
+        with pytest.raises(ValueError, match="asymptote"):
+            exponential_extrapolation([1, 3], [2.0, 1.5], asymptote=1.5)
+
+    def test_exponential_sign_change_rejected(self):
+        with pytest.raises(ValueError, match="sign"):
+            exponential_extrapolation([1, 3, 5], [0.5, -0.2, 0.1])
+
+    def test_exponential_growth_rejected(self):
+        with pytest.raises(ValueError, match="decay"):
+            exponential_extrapolation([1, 3, 5], [0.1, 0.2, 0.4])
+        # growing magnitudes on the negative side too
+        with pytest.raises(ValueError, match="decay"):
+            exponential_extrapolation([1, 3, 5], [-0.1, -0.2, -0.4])
+
+    def test_zne_energy_falls_back_to_linear_on_degenerate_curve(self):
+        """A noiseless model gives a flat curve the exponential fit cannot
+        describe; zne_energy must fall back instead of raising."""
+        nm = NoiseModel.noiseless(2)
+        h = PauliSum.from_terms([(1.0, "ZZ")])
+        circ = Circuit(2)
+        circ.cx(0, 1)
+        result = zne_energy(circ, h, nm, method="exponential")
+        assert result.mitigated == pytest.approx(result.unmitigated)
+
+
+class TestTemplateFolding:
+    """fold_template_global: global folding of *parameterized* templates."""
+
+    def template(self):
+        from repro.circuits import hardware_efficient_ansatz
+
+        return hardware_efficient_ansatz(3)
+
+    @pytest.mark.parametrize("scale", [1, 3, 5])
+    def test_bound_fold_matches_folding_the_bound_circuit(self, scale):
+        template = self.template()
+        num_params = template.num_parameters
+        theta = np.linspace(-0.7, 0.9, num_params)
+        folded = fold_template_global(template, scale)
+        assert folded.num_parameters == scale * num_params
+        # block b binds theta with alternating sign (inverse blocks)
+        theta_ext = np.hstack([theta if b % 2 == 0 else -theta
+                               for b in range(scale)])
+        reference = fold_global(template.bind(theta), scale)
+        np.testing.assert_allclose(folded.bind(theta_ext).unitary(),
+                                   reference.unitary(), atol=1e-10)
+
+    def test_bound_template_folds_like_fold_global(self):
+        circ = sample_circuit()  # no symbolic parameters
+        folded = fold_template_global(circ, 3)
+        np.testing.assert_allclose(folded.unitary(),
+                                   fold_global(circ, 3).unitary(),
+                                   atol=1e-10)
+
+    def test_even_scale_rejected(self):
+        with pytest.raises(ValueError):
+            fold_template_global(self.template(), 2)
+        with pytest.raises(ValueError):
+            fold_template_global(self.template(), 0)

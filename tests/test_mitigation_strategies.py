@@ -1,0 +1,540 @@
+"""Tests for the mitigation-strategy registry and estimator wrappers.
+
+The acceptance-critical behaviors live here: the ``"zne:folds=3|readout"``
+grammar, batch-preserving ZNE (one ``estimate_many`` call per noise
+scale), readout correction matching a hand-computed inversion, the golden
+bit-identity of ``mitigation="none"``, and the campaign/CLI wiring of the
+mitigation axis.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    CampaignAggregate,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    TaskSpec,
+    render_report,
+)
+from repro.cli import main
+from repro.core import VQEProblem
+from repro.execution import ExactEstimator
+from repro.experiments import Experiment
+from repro.hamiltonians import ising_model
+from repro.mitigation import (
+    ComposedMitigation,
+    MitigationStrategy,
+    NoMitigation,
+    ZNEMitigation,
+    available_mitigations,
+    get_mitigation,
+    mitigation_names,
+    parse_mitigation,
+    register_mitigation,
+    resolve_mitigation,
+    split_mitigation_specs,
+    unregister_mitigation,
+)
+from repro.noise import NoiseModel
+from repro.obs import bucket_of, summarize_spans
+from repro.optim import EngineConfig
+
+#: Minimal engine so every experiment here runs in ~100 ms.
+TINY_OVERRIDES = {"num_instances": 1, "generations_per_round": 6,
+                  "top_k": 3, "population_size": 10, "retry_rounds": 0}
+TINY = EngineConfig(seed=0, **TINY_OVERRIDES)
+
+
+def make_problem(num_qubits=3, depol_1q=1e-3, depol_2q=1e-2, readout=0.02):
+    h = ising_model(num_qubits, 1.0)
+    nm = NoiseModel.uniform(num_qubits, depol_1q=depol_1q,
+                            depol_2q=depol_2q, readout=readout, t1=None)
+    return h, VQEProblem.logical(h, noise_model=nm)
+
+
+def scrub_seconds(obj):
+    """Drop wall-clock fields so payload comparisons are timing-free."""
+    if isinstance(obj, dict):
+        return {k: scrub_seconds(v) for k, v in obj.items()
+                if "seconds" not in k}
+    if isinstance(obj, list):
+        return [scrub_seconds(v) for v in obj]
+    return obj
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = mitigation_names()
+        for name in ("none", "zne", "readout"):
+            assert name in names
+        listing = available_mitigations()
+        assert listing["none"].description
+
+    def test_get_unknown_has_did_you_mean(self):
+        with pytest.raises(KeyError) as err:
+            get_mitigation("zn")
+        message = err.value.args[0]
+        assert "did you mean 'zne'?" in message
+        assert "registered mitigations" in message
+
+    def test_register_and_unregister_custom(self):
+        @register_mitigation
+        class Doubling(MitigationStrategy):
+            name = "doubling_test"
+            description = "test-only strategy"
+
+            def _wrap(self, estimator):
+                return estimator
+
+        try:
+            assert isinstance(get_mitigation("doubling_test"), Doubling)
+            with pytest.raises(ValueError):
+                register_mitigation(Doubling)  # duplicate without replace
+            register_mitigation(Doubling, replace=True)
+        finally:
+            unregister_mitigation("doubling_test")
+        assert "doubling_test" not in mitigation_names()
+
+    def test_resolve_forms(self):
+        assert isinstance(resolve_mitigation(None), NoMitigation)
+        assert resolve_mitigation("none").name == "none"
+        strategy = ZNEMitigation(folds=2)
+        assert resolve_mitigation(strategy) is strategy
+        with pytest.raises(TypeError):
+            resolve_mitigation(42)
+
+
+class TestGrammar:
+    def test_defaults_and_canonical_name(self):
+        zne = parse_mitigation("zne")
+        assert zne.scales == (1, 3, 5)
+        assert zne.fit == "linear"
+        assert zne.name == "zne"
+        # explicitly spelling a default still canonicalizes to the base
+        assert parse_mitigation("zne:folds=3").name == "zne"
+
+    def test_parameterized_and_alias(self):
+        zne = parse_mitigation("zne:folds=5,fit=exp")
+        assert zne.folds == 5
+        assert zne.scales == (1, 3, 5, 7, 9)
+        assert zne.fit == "exponential"
+        assert zne.name == "zne:folds=5,fit=exponential"
+
+    def test_composed_spec(self):
+        stack = parse_mitigation("zne:folds=2|readout")
+        assert isinstance(stack, ComposedMitigation)
+        assert stack.name == "zne:folds=2|readout"
+        assert [s.name for s in stack.stages] == ["zne:folds=2", "readout"]
+
+    def test_malformed_parameter(self):
+        with pytest.raises(ValueError):
+            parse_mitigation("zne:folds")
+
+    def test_unknown_parameter_did_you_mean(self):
+        with pytest.raises(ValueError) as err:
+            parse_mitigation("zne:fold=5")
+        assert "folds" in err.value.args[0]
+
+    def test_unparameterized_strategy_rejects_parameters(self):
+        with pytest.raises(ValueError):
+            parse_mitigation("readout:k=1")
+
+    def test_unknown_stage_name(self):
+        with pytest.raises(KeyError) as err:
+            parse_mitigation("zne|readut")
+        assert "did you mean 'readout'?" in err.value.args[0]
+
+    def test_zne_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ZNEMitigation(folds=1)
+        with pytest.raises(ValueError):
+            ZNEMitigation(fit="cubic")
+        with pytest.raises(ValueError):
+            ZNEMitigation(folding="pulse")
+
+    def test_split_specs_keeps_parameter_fragments_together(self):
+        assert split_mitigation_specs("none,zne:folds=3") == \
+            ["none", "zne:folds=3"]
+        # the comma inside a parameter list must not split the spec
+        assert split_mitigation_specs("none,zne:folds=3,fit=exp|readout") \
+            == ["none", "zne:folds=3,fit=exp|readout"]
+
+
+class TestComposition:
+    def test_needs_two_stages(self):
+        with pytest.raises(ValueError):
+            ComposedMitigation([ZNEMitigation()])
+        with pytest.raises(TypeError):
+            ComposedMitigation([ZNEMitigation(), "readout"])
+
+    def test_leftmost_stage_is_outermost(self):
+        h, problem = make_problem()
+        stack = parse_mitigation("zne:folds=2|readout")
+        wrapped = stack.wrap(ExactEstimator(problem, h))
+        # ZNE outermost, each folded scale readout-corrected inside
+        assert wrapped.mode == "zne(readout(exact))"
+        reversed_stack = parse_mitigation("readout|zne:folds=2")
+        wrapped = reversed_stack.wrap(ExactEstimator(problem, h))
+        assert wrapped.mode == "readout(zne(exact))"
+
+    def test_none_wrap_is_identity(self):
+        h, problem = make_problem()
+        estimator = ExactEstimator(problem, h)
+        assert NoMitigation().wrap(estimator) is estimator
+
+
+class RecordingEstimator:
+    """Estimator-protocol spy: records every ``estimate_many`` batch shape.
+
+    Clones made through ``with_problem`` (ZNE's per-scale estimators)
+    share the call log, so the test sees the whole stack's batching.
+    """
+
+    def __init__(self, inner, calls):
+        self._inner = inner
+        self.calls = calls
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def estimate_many(self, thetas):
+        self.calls.append(np.atleast_2d(np.asarray(thetas, float)).shape)
+        return self._inner.estimate_many(thetas)
+
+    def with_problem(self, problem):
+        return RecordingEstimator(self._inner.with_problem(problem),
+                                  self.calls)
+
+
+class TestBatchedZNE:
+    def test_one_estimate_many_call_per_scale(self):
+        """The acceptance bar: a k-point batch at m scales costs exactly m
+        batched calls, each carrying the full k points -- never k*m."""
+        h, problem = make_problem(readout=0.0)
+        calls = []
+        spy = RecordingEstimator(ExactEstimator(problem, h), calls)
+        wrapped = get_mitigation("zne").wrap(spy)  # folds=3: scales 1,3,5
+        num_params = problem.eval_ansatz.num_parameters
+        rng = np.random.default_rng(0)
+        thetas = rng.normal(size=(4, num_params))
+        batch = wrapped.estimate_many(thetas)
+        assert len(batch.values) == 4
+        assert np.all(np.isfinite(batch.values))
+        assert len(calls) == 3  # one per scale, not one per point
+        assert [shape[0] for shape in calls] == [4, 4, 4]
+
+    def test_global_folding_tiles_parameter_windows(self):
+        h, problem = make_problem(readout=0.0)
+        calls = []
+        spy = RecordingEstimator(ExactEstimator(problem, h), calls)
+        wrapped = parse_mitigation("zne:folds=2,folding=global").wrap(spy)
+        num_params = problem.eval_ansatz.num_parameters
+        thetas = np.zeros((2, num_params))
+        wrapped.estimate_many(thetas)
+        # scale 1 sees the raw window, scale 3 the [theta,-theta,theta] tile
+        assert calls == [(2, num_params), (2, 3 * num_params)]
+
+    def test_single_point_estimate_rides_the_batch_path(self):
+        h, problem = make_problem(readout=0.0)
+        calls = []
+        spy = RecordingEstimator(ExactEstimator(problem, h), calls)
+        wrapped = parse_mitigation("zne:folds=2").wrap(spy)
+        theta = np.zeros(problem.eval_ansatz.num_parameters)
+        result = wrapped.estimate(theta)
+        assert result.mode == "zne(exact)"
+        assert [shape[0] for shape in calls] == [1, 1]
+        assert wrapped.energy(theta) == pytest.approx(result.value)
+
+    def test_mitigated_closer_to_noiseless(self):
+        h, problem = make_problem(depol_1q=2e-3, depol_2q=2e-2, readout=0.0)
+        theta = np.full(problem.eval_ansatz.num_parameters, 0.3)
+        ideal = ExactEstimator(
+            VQEProblem.logical(h), h).estimate(theta).value
+        raw = ExactEstimator(problem, h).estimate(theta).value
+        for spec in ("zne", "zne:fit=richardson", "zne:fit=exp",
+                     "zne:folds=2,folding=global"):
+            wrapped = parse_mitigation(spec).wrap(ExactEstimator(problem, h))
+            mitigated = wrapped.estimate(theta).value
+            assert abs(mitigated - ideal) < abs(raw - ideal), spec
+
+    def test_wrap_requires_with_problem(self):
+        h, problem = make_problem()
+
+        class Bare:
+            def __init__(self):
+                self.problem = problem
+                self.mode = "bare"
+
+        with pytest.raises(TypeError):
+            get_mitigation("zne").wrap(Bare())
+
+
+class TestReadoutMitigation:
+    def test_matches_hand_computed_inversion(self):
+        """With uniform readout error, each weight-w term is attenuated by
+        (1 - p01 - p10)^w; the wrapper must divide exactly that out."""
+        p01 = p10 = 0.04
+        h, problem = make_problem(depol_1q=0.0, depol_2q=0.0, readout=p01)
+        theta = np.full(problem.eval_ansatz.num_parameters, 0.2)
+        raw = ExactEstimator(problem, h).estimate(theta)
+        expected = raw.value
+        for (coeff, pauli), term in zip(h.terms(), raw.term_expectations):
+            factor = (1.0 - p01 - p10) ** pauli.weight
+            expected += coeff.real * (term / factor - term)
+        wrapped = get_mitigation("readout").wrap(ExactEstimator(problem, h))
+        result = wrapped.estimate(theta)
+        assert result.value == pytest.approx(expected, abs=1e-12)
+        assert result.mode == "readout(exact)"
+
+    def test_exact_on_readout_only_noise(self):
+        """Readout attenuation is the only noise, so inverting it must
+        recover the noiseless energy to machine precision."""
+        h, problem = make_problem(depol_1q=0.0, depol_2q=0.0, readout=0.06)
+        theta = np.linspace(-0.4, 0.4, problem.eval_ansatz.num_parameters)
+        ideal = ExactEstimator(VQEProblem.logical(h), h).estimate(theta)
+        wrapped = get_mitigation("readout").wrap(ExactEstimator(problem, h))
+        mitigated = wrapped.estimate(theta)
+        assert mitigated.value == pytest.approx(ideal.value, abs=1e-10)
+        np.testing.assert_allclose(mitigated.term_expectations,
+                                   ideal.term_expectations, atol=1e-10)
+
+    def test_rejects_uninvertible_confusion(self):
+        h, problem = make_problem(depol_1q=0.0, depol_2q=0.0, readout=0.5)
+        with pytest.raises(ValueError):
+            get_mitigation("readout").wrap(ExactEstimator(problem, h))
+
+
+class TestExperimentWiring:
+    def test_golden_none_is_bit_identical(self):
+        """``mitigation="none"`` must not perturb the payload at all
+        (timing fields aside) relative to never mentioning mitigation."""
+        h = ising_model(3, 1.0)
+        nm = NoiseModel.uniform(3, depol_1q=1e-3, depol_2q=1e-2,
+                                readout=0.02, t1=None)
+        plain = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY)
+        golden = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY, mitigation="none")
+        assert scrub_seconds(plain.to_dict()) == \
+            scrub_seconds(golden.to_dict())
+        # the serialized run omits the field entirely on the default
+        assert "mitigation" not in plain.to_dict()["runs"]["cafqa"]
+        assert golden.runs["cafqa"].mitigation == "none"
+
+    def test_zne_changes_device_tier_only(self):
+        h = ising_model(3, 1.0)
+        nm = NoiseModel.uniform(3, depol_1q=2e-3, depol_2q=2e-2,
+                                readout=0.02, t1=None)
+        baseline = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY)
+        mitigated = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY, mitigation="zne:folds=2")
+        run = mitigated.runs["cafqa"]
+        assert run.mitigation == "zne:folds=2"
+        ev, base_ev = run.evaluation, baseline.runs["cafqa"].evaluation
+        # raw tiers untouched (search and noiseless stay unmitigated)
+        assert ev.noiseless == pytest.approx(base_ev.noiseless)
+        assert ev.clifford_model == pytest.approx(base_ev.clifford_model)
+        # the device tier records both views
+        assert ev.device_model_raw == pytest.approx(base_ev.device_model)
+        assert ev.device_model != ev.device_model_raw
+        # and it survives the JSON round trip
+        payload = mitigated.to_dict()
+        reloaded = type(mitigated).from_dict(payload)
+        assert reloaded.runs["cafqa"].mitigation == "zne:folds=2"
+        assert reloaded.runs["cafqa"].evaluation.device_model_raw == \
+            pytest.approx(ev.device_model_raw)
+
+    def test_vqe_endpoints_are_mitigated(self):
+        h = ising_model(3, 1.0)
+        nm = NoiseModel.uniform(3, depol_1q=2e-3, depol_2q=2e-2,
+                                readout=0.02, t1=None)
+        plain = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY, vqe_iterations=3)
+        mitigated = Experiment(h, noise_model=nm).run(
+            methods=("cafqa",), config=TINY, vqe_iterations=3,
+            mitigation="zne:folds=2")
+        # same SPSA trajectory (the online loop stays raw) ...
+        np.testing.assert_allclose(mitigated.runs["cafqa"].vqe.history,
+                                   plain.runs["cafqa"].vqe.history)
+        # ... but the endpoint energies are extrapolated
+        assert mitigated.runs["cafqa"].vqe.final_energy != \
+            plain.runs["cafqa"].vqe.final_energy
+
+
+class TestCampaignAxis:
+    def spec(self, **kwargs):
+        defaults = dict(name="mit-grid", benchmarks=["ising_J1.00"],
+                        qubit_sizes=[3], noise_scales=[1.0],
+                        methods=["cafqa"], seeds=[0],
+                        mitigations=["none", "zne:folds=2"],
+                        engine_preset="smoke",
+                        engine_overrides=TINY_OVERRIDES)
+        defaults.update(kwargs)
+        return CampaignSpec(**defaults)
+
+    def test_axis_multiplies_grid_and_labels(self):
+        spec = self.spec()
+        tasks = spec.tasks()
+        assert spec.num_tasks == len(tasks) == 2
+        assert [t.label for t in tasks] == [
+            "ising_J1.00/3q/noise_x1/cafqa/s0",
+            "ising_J1.00/3q/noise_x1/cafqa/zne:folds=2/s0",
+        ]
+
+    def test_default_axis_keeps_task_ids_stable(self):
+        # a spec that never mentions mitigations produces the same ids
+        with_axis = self.spec(mitigations=["none"]).tasks()
+        without = self.spec(mitigations=["none"])
+        without.mitigations = ["none"]
+        base = dict(benchmark="ising_J1.00", num_qubits=3, method="cafqa",
+                    seed=0, setting={"kind": "noiseless"}, engine={})
+        assert TaskSpec(**base).task_id == \
+            TaskSpec(**base, mitigation="none").task_id
+        assert TaskSpec(**base).task_id != \
+            TaskSpec(**base, mitigation="zne").task_id
+        assert with_axis[0].to_dict().get("mitigation") is None
+
+    def test_spec_validates_mitigations(self):
+        with pytest.raises(ValueError):
+            self.spec(mitigations=[])
+        with pytest.raises(ValueError):
+            self.spec(mitigations=["bogus"])
+        with pytest.raises(ValueError):
+            self.spec(mitigations=["none", "none"])
+
+    def test_end_to_end_aggregate_and_report(self, tmp_path):
+        spec = self.spec()
+        store = ResultStore.create(tmp_path / "store", spec)
+        progress = CampaignRunner(spec, store).run()
+        assert progress.ran == 2 and progress.failed == 0
+        aggregate = CampaignAggregate.from_store(store)
+        assert {row["mitigation"] for row in aggregate.rows} == \
+            {"none", "zne:folds=2"}
+        only_zne = aggregate.filtered(mitigation="zne:folds=2")
+        assert len(only_zne.rows) == 1
+        assert only_zne.rows[0]["device_model_raw"] is not None
+
+        report = render_report(store)
+        assert "2 mitigation(s)" in report
+        assert "| mitigation |" in report or "mitigation" in report
+        assert "zne:folds=2" in report
+        filtered = render_report(store, mitigation="none")
+        assert "zne:folds=2" not in filtered.split("## ", 1)[1]
+
+    def test_filtered_errors_name_available_values(self, tmp_path):
+        spec = self.spec()
+        store = ResultStore.create(tmp_path / "store", spec)
+        CampaignRunner(spec, store).run()
+        aggregate = CampaignAggregate.from_store(store)
+        with pytest.raises(KeyError) as err:
+            aggregate.filtered(mitigation="zne:folds=3")
+        message = err.value.args[0]
+        assert "zne:folds=2" in message and "none" in message
+        with pytest.raises(KeyError) as err:
+            aggregate.filtered(mitigatoin="none")
+        assert "filter column" in err.value.args[0]
+        assert "mitigation" in err.value.args[0]
+
+
+class TestCLI:
+    def test_mitigations_verb_lists_registry(self, capsys):
+        assert main(["mitigations"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "zne", "readout"):
+            assert name in out
+        assert "compose" in out  # the '|' grammar hint
+
+    def test_run_rejects_unknown_mitigation(self, capsys):
+        assert main(["run", "ising_J1.00", "--qubits", "3",
+                     "--mitigation", "zn"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'zne'?" in err
+        assert "repro mitigations" in err
+
+    def test_run_with_mitigation_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        assert main(["run", "ising:n=3", "--backend", "nairobi",
+                     "--method", "cafqa",
+                     "--mitigation", "zne:folds=2"]) == 0
+        out = capsys.readouterr().out
+        assert "mitigation=zne:folds=2" in out
+        assert "raw" in out  # device tier prints the unmitigated value
+
+    def test_sweep_mitigations_flag_and_report_filter(self, capsys,
+                                                      tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("CLAPTON_BENCH_PRESET", "smoke")
+        spec = {"name": "cli-mit", "benchmarks": ["ising_J1.00"],
+                "qubit_sizes": [3], "noise_scales": [1.0],
+                "methods": ["cafqa"], "seeds": [0],
+                "engine_preset": "smoke",
+                "engine_overrides": TINY_OVERRIDES}
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(spec))
+        store = str(spec_path.with_suffix(".campaign"))
+
+        assert main(["sweep", str(spec_path),
+                     "--mitigations", "none,zne:folds=2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 tasks" in out
+
+        assert main(["report", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 mitigation(s)" in out and "zne:folds=2" in out
+
+        assert main(["report", store, "--mitigation", "zne:folds=2"]) == 0
+        capsys.readouterr()
+        assert main(["report", store, "--mitigation", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mitigation value" in err
+        assert "zne:folds=2" in err
+
+    def test_sweep_rejects_bad_mitigation_spec(self, capsys, tmp_path):
+        spec = {"name": "cli-bad", "benchmarks": ["ising_J1.00"],
+                "qubit_sizes": [3], "noise_scales": [1.0],
+                "methods": ["cafqa"], "seeds": [0],
+                "engine_preset": "smoke"}
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main(["sweep", str(spec_path),
+                     "--mitigations", "zne:folds"]) == 2
+        assert "repro mitigations" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_mitigation_spans_bucket_separately(self):
+        assert bucket_of("mitigation.wrap") == "mitigation"
+        assert bucket_of("mitigation.estimate_many") == "mitigation"
+        # the raw per-scale circuit work re-appears as a loss.* child
+        assert bucket_of("loss.scale_eval") == "loss_eval"
+
+    def test_summary_carries_mitigation_bucket(self):
+        spans = [
+            {"id": 1, "parent": None, "name": "mitigation.estimate_many",
+             "start": 0.0, "dur": 1.0},
+            {"id": 2, "parent": 1, "name": "loss.scale_eval",
+             "start": 0.1, "dur": 0.7},
+        ]
+        summary = summarize_spans(spans)
+        assert summary.buckets["mitigation"] == pytest.approx(0.3)
+        assert summary.buckets["loss_eval"] == pytest.approx(0.7)
+
+    def test_wrapped_estimator_emits_spans(self, tmp_path):
+        from repro.obs import JsonlTracer, load_trace, use_tracer
+
+        h, problem = make_problem(readout=0.0)
+        path = tmp_path / "trace.jsonl"
+        with use_tracer(JsonlTracer(path)):
+            wrapped = parse_mitigation("zne:folds=2").wrap(
+                ExactEstimator(problem, h))
+            wrapped.estimate(np.zeros(problem.eval_ansatz.num_parameters))
+        _, spans = load_trace(path)
+        names = [s["name"] for s in spans]
+        assert "mitigation.wrap" in names
+        assert "mitigation.estimate_many" in names
+        assert names.count("loss.scale_eval") == 2  # one event per scale
