@@ -34,6 +34,12 @@ SMOKE = os.environ.get("CLAPTON_BENCH_PRESET", "fast").lower() == "smoke"
 NUM_QUBITS = 6 if SMOKE else 12
 SPEEDUP_FLOOR = 3.0
 
+#: Qubit-scaling axis: the packed layout must beat the boolean oracle by
+#: >= PACKED_SPEEDUP_FLOOR at every size >= PACKED_FLOOR_FROM.
+SCALING_SIZES = [8, 16] if SMOKE else [8, 16, 32, 48, 64]
+PACKED_SPEEDUP_FLOOR = 3.0
+PACKED_FLOOR_FROM = 48
+
 
 def _setup():
     hamiltonian = ising_model(NUM_QUBITS, 1.0)
@@ -116,3 +122,95 @@ def test_batched_population_beats_per_genome_loop(benchmark):
     assert speedups["clapton"] >= SPEEDUP_FLOOR, (
         f"batched Clapton loss only {speedups['clapton']:.1f}x faster "
         f"(floor {SPEEDUP_FLOOR}x)")
+
+
+def _scaling_setup(num_qubits):
+    hamiltonian = ising_model(num_qubits, 1.0)
+    noise = NoiseModel.uniform(num_qubits, depol_1q=1e-3, depol_2q=8e-3,
+                               readout=2e-2, t1=80e-6)
+    return VQEProblem.logical(hamiltonian, noise_model=noise)
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _emit_scaling_json(rows):
+    payload = {
+        "bench": "packed_qubit_scaling",
+        "preset": os.environ.get("CLAPTON_BENCH_PRESET", "fast"),
+        "population": POPULATION,
+        "loss": "clapton",
+        "sizes": [
+            {
+                "num_qubits": n,
+                "packed_seconds": round(packed_seconds, 6),
+                "bool_seconds": round(bool_seconds, 6),
+                "speedup": round(bool_seconds / packed_seconds, 2),
+            }
+            for n, packed_seconds, bool_seconds in rows
+        ],
+    }
+    path = Path(os.environ.get(
+        "CLAPTON_BENCH_SCALING_JSON",
+        Path(__file__).parent / "bench_results" / "qubit_scaling.json"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"BENCH {json.dumps(payload)}")
+    return path
+
+
+def test_packed_qubit_scaling(benchmark):
+    """Packed vs boolean Clapton loss across the qubit-scaling axis.
+
+    One full-population ``evaluate_many`` at the Figure-4 working point
+    (|S| = 100) per size, packed layout against the boolean oracle.  The
+    contract is twofold: the losses are **bit-identical** at every size,
+    and the packed path wins by >= 3x from 48 qubits up (where the
+    byte-per-bit layout's memory traffic dominates).
+    """
+
+    def experiment():
+        rows = []
+        for n in SCALING_SIZES:
+            problem = _scaling_setup(n)
+            rng = np.random.default_rng(0)
+            genomes = rng.integers(
+                0, 4,
+                size=(POPULATION, problem.num_transformation_parameters))
+            packed_loss = ClaptonLoss(problem, packed=True)
+            bool_loss = ClaptonLoss(problem, packed=False)
+            packed_values = packed_loss.evaluate_many(genomes)  # warm
+            bool_values = bool_loss.evaluate_many(genomes)
+            np.testing.assert_array_equal(packed_values, bool_values,
+                                          err_msg=f"n={n}")
+            packed_seconds = _best_of(
+                lambda: packed_loss.evaluate_many(genomes))
+            bool_seconds = _best_of(
+                lambda: bool_loss.evaluate_many(genomes))
+            rows.append((n, packed_seconds, bool_seconds))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print_banner(f"Packed vs bool Clapton loss | |S| = {POPULATION} | "
+                 f"ising, sizes {SCALING_SIZES}")
+    print(f"{'N':>4} {'packed[s]':>10} {'bool[s]':>9} {'speedup':>8}")
+    for n, packed_seconds, bool_seconds in rows:
+        print(f"{n:>4} {packed_seconds:>10.3f} {bool_seconds:>9.3f} "
+              f"{bool_seconds / packed_seconds:>7.1f}x")
+    _emit_scaling_json(rows)
+
+    for n, packed_seconds, bool_seconds in rows:
+        if n < PACKED_FLOOR_FROM:
+            continue
+        speedup = bool_seconds / packed_seconds
+        assert speedup >= PACKED_SPEEDUP_FLOOR, (
+            f"packed path only {speedup:.1f}x faster at n={n} "
+            f"(floor {PACKED_SPEEDUP_FLOOR}x from {PACKED_FLOOR_FROM} "
+            f"qubits)")

@@ -43,23 +43,28 @@ class ClaptonLoss:
             paper's depolarizing + readout model on the problem's device).
         noisy_weight / noiseless_weight: Term weights; the paper uses 1 + 1,
             the ablation bench sweeps them.
+        packed: Run the conjugation/walk on the word-packed Pauli layout
+            (default).  ``packed=False`` keeps the boolean-matrix oracle;
+            both produce bit-identical losses.
     """
 
     def __init__(self, problem: VQEProblem,
                  clifford_model: CliffordNoiseModel | None = None,
-                 noisy_weight: float = 1.0, noiseless_weight: float = 1.0):
+                 noisy_weight: float = 1.0, noiseless_weight: float = 1.0,
+                 packed: bool = True):
         self.problem = problem
         self.clifford_model = clifford_model or CliffordNoiseModel(
             problem.noise_model)
         self.noisy_weight = noisy_weight
         self.noiseless_weight = noiseless_weight
+        self.packed = packed
         self._skeleton = problem.skeleton()
 
     def components(self, gamma) -> tuple[float, float]:
         """``(L_N, L_0)`` at a transformation genome."""
         problem = self.problem
         table = transform_table(problem.hamiltonian, gamma,
-                                problem.entanglement)
+                                problem.entanglement, packed=self.packed)
         coeffs = problem.hamiltonian.coefficients
         noiseless = float(coeffs @ table.expectation_all_zeros())
         eval_table = embed_table(table, problem.positions,
@@ -85,7 +90,8 @@ class ClaptonLoss:
         num_terms = len(coeffs)
         stacked = transform_table_many(problem.hamiltonian,
                                        np.asarray(gammas, dtype=np.int64),
-                                       problem.entanglement)
+                                       problem.entanglement,
+                                       packed=self.packed)
         num_genomes = stacked.num_rows // num_terms
         zeros = stacked.expectation_all_zeros()
         noiseless = np.array(
@@ -122,11 +128,13 @@ class CafqaLoss:
     """
 
     def __init__(self, problem: VQEProblem, noise_aware: bool = False,
-                 clifford_model: CliffordNoiseModel | None = None):
+                 clifford_model: CliffordNoiseModel | None = None,
+                 packed: bool = True):
         self.problem = problem
         self.noise_aware = noise_aware
         self.clifford_model = clifford_model or CliffordNoiseModel(
             problem.noise_model)
+        self.packed = packed
         from ..circuits.ansatz import hardware_efficient_ansatz
 
         self._logical_ansatz = hardware_efficient_ansatz(
@@ -134,6 +142,17 @@ class CafqaLoss:
         self._mapped = problem.mapped_hamiltonian()
         self._logical_plan: CliffordCircuitPlan | None = None
         self._eval_plan: CliffordCircuitPlan | None = None
+        if packed:
+            from ..paulis.packed_table import PackedPauliTable
+
+            # packed masters, packed once and tiled/copied per evaluation
+            self._ham_master = PackedPauliTable.from_table(
+                problem.hamiltonian.table)
+            self._mapped_master = PackedPauliTable.from_table(
+                self._mapped.table)
+        else:
+            self._ham_master = problem.hamiltonian.table
+            self._mapped_master = self._mapped.table
 
     def components(self, genome) -> tuple[float, float]:
         problem = self.problem
@@ -145,7 +164,7 @@ class CafqaLoss:
         logical_circuit = drop_identity_rotations(
             self._logical_ansatz.bind(theta))
         # <0|A† H A|0>: pull every term backward through the bound ansatz
-        conj = problem.hamiltonian.table.copy()
+        conj = self._ham_master.copy()
         for inst in reversed(logical_circuit.instructions):
             apply_gate_to_table(conj, _inverse_gate_tableau(inst), inst.qubits)
         noiseless = float(problem.hamiltonian.coefficients
@@ -154,7 +173,7 @@ class CafqaLoss:
             return 0.0, noiseless
         bound = problem.bound_ansatz(theta)
         noisy = self.clifford_model.noisy_zero_state_energy_table(
-            bound, self._mapped.table, self._mapped.coefficients)
+            bound, self._mapped_master, self._mapped.coefficients)
         return noisy, noiseless
 
     def __call__(self, genome) -> float:
@@ -186,11 +205,29 @@ class CafqaLoss:
         num_terms = len(coeffs)
         if self._logical_plan is None:
             self._logical_plan = CliffordCircuitPlan(self._logical_ansatz)
-        conj = problem.hamiltonian.table.tile(num_genomes)
-        for inst, rows in self._logical_plan.reverse_schedule(thetas,
-                                                              num_terms):
-            apply_gate_to_table(conj, _inverse_gate_tableau(inst),
-                                inst.qubits, rows=rows)
+        conj = self._ham_master.tile(num_genomes)
+        if self.packed:
+            from ..stabilizer.tableau import apply_gate_levels_to_table
+
+            # packed fast path: each rotation slot's angle groups fuse
+            # into one unmasked leveled-LUT pass (bit-identical per row)
+            for item in self._logical_plan.reverse_leveled_schedule(
+                    thetas, num_terms):
+                if item[0] == "gate":
+                    _, inst, rows = item
+                    apply_gate_to_table(conj, _inverse_gate_tableau(inst),
+                                        inst.qubits, rows=rows)
+                else:
+                    _, bound_insts, qubits, level_of_row = item
+                    entries = [None] + [(_inverse_gate_tableau(b), False)
+                                        for b in bound_insts]
+                    apply_gate_levels_to_table(conj, entries, qubits,
+                                               level_of_row)
+        else:
+            for inst, rows in self._logical_plan.reverse_schedule(thetas,
+                                                                  num_terms):
+                apply_gate_to_table(conj, _inverse_gate_tableau(inst),
+                                    inst.qubits, rows=rows)
         zeros = conj.expectation_all_zeros()
         noiseless = np.array(
             [float(coeffs @ zeros[p * num_terms:(p + 1) * num_terms])
@@ -203,7 +240,7 @@ class CafqaLoss:
         schedule = self._eval_plan.reverse_schedule(thetas,
                                                     mapped.table.num_rows)
         values = self.clifford_model.noisy_zero_state_term_values_steps(
-            schedule, mapped.table.tile(num_genomes))
+            schedule, self._mapped_master.tile(num_genomes))
         rows_per = mapped.table.num_rows
         noisy = np.array(
             [float(mapped.coefficients @ values[p * rows_per:
@@ -235,6 +272,7 @@ class NcafqaLoss(CafqaLoss):
     """
 
     def __init__(self, problem: VQEProblem,
-                 clifford_model: CliffordNoiseModel | None = None):
+                 clifford_model: CliffordNoiseModel | None = None,
+                 packed: bool = True):
         super().__init__(problem, noise_aware=True,
-                         clifford_model=clifford_model)
+                         clifford_model=clifford_model, packed=packed)

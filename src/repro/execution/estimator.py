@@ -536,18 +536,29 @@ class CliffordEstimator(BaseEstimator):
 
     def __init__(self, problem: "VQEProblem", observable: PauliSum,
                  noise_model: NoiseModel | None = None,
-                 clifford_model: CliffordNoiseModel | None = None):
+                 clifford_model: CliffordNoiseModel | None = None,
+                 packed: bool = True):
         super().__init__(problem, observable, noise_model)
         self.clifford_model = clifford_model or CliffordNoiseModel(
             self.noise_model)
+        self.packed = packed
         self._coefficients = observable.coefficients
         self._clifford_plan = None
+        if packed:
+            from ..paulis.packed_table import PackedPauliTable
+
+            # observable packed once; every pass copies/tiles the words
+            self._observable_table = PackedPauliTable.from_table(
+                observable.table)
+        else:
+            self._observable_table = observable.table
 
     def with_problem(self, problem: "VQEProblem") -> "CliffordEstimator":
         """Clone over another problem (same observable and noise models)."""
         return CliffordEstimator(problem, self.observable,
                                  noise_model=self.noise_model,
-                                 clifford_model=self.clifford_model)
+                                 clifford_model=self.clifford_model,
+                                 packed=self.packed)
 
     def _finish(self, circuit: Circuit, start: float) -> EstimateResult:
         if not circuit.is_clifford():
@@ -555,7 +566,7 @@ class CliffordEstimator(BaseEstimator):
                 "CliffordEstimator requires a Clifford parameter point "
                 "(every angle a multiple of pi/2)")
         values = self.clifford_model.noisy_zero_state_term_values(
-            circuit, self.observable.table)
+            circuit, self._observable_table)
         value = float(self._coefficients @ values)
         self.num_evaluations += 1
         return EstimateResult(
@@ -596,7 +607,7 @@ class CliffordEstimator(BaseEstimator):
             raise ValueError(
                 "CliffordEstimator requires a Clifford parameter point "
                 "(every angle a multiple of pi/2)")
-        table = self.observable.table
+        table = self._observable_table
         num_terms = table.num_rows
         schedule = plan.reverse_schedule(thetas, num_terms)
         values = self.clifford_model.noisy_zero_state_term_values_steps(

@@ -29,16 +29,20 @@ class CafqaMethod(InitializationMethod):
                    "angles (L_0 only)")
     noise_aware = False
 
-    def __init__(self, clifford_model: CliffordNoiseModel | None = None):
+    def __init__(self, clifford_model: CliffordNoiseModel | None = None,
+                 packed: bool = True):
         self.clifford_model = clifford_model
+        self.packed = packed
 
     def num_parameters(self, problem: VQEProblem) -> int:
         return problem.num_vqe_parameters
 
     def make_loss(self, problem: VQEProblem):
         if self.noise_aware:
-            return NcafqaLoss(problem, clifford_model=self.clifford_model)
-        return CafqaLoss(problem, clifford_model=self.clifford_model)
+            return NcafqaLoss(problem, clifford_model=self.clifford_model,
+                              packed=self.packed)
+        return CafqaLoss(problem, clifford_model=self.clifford_model,
+                         packed=self.packed)
 
     def decode(self, problem: VQEProblem, genome) -> DecodedPoint:
         return DecodedPoint(vqe_hamiltonian=problem.hamiltonian,
@@ -70,10 +74,12 @@ class ClaptonMethod(InitializationMethod):
                    "L_N + L_0 (Sec. 4.1)")
 
     def __init__(self, clifford_model: CliffordNoiseModel | None = None,
-                 noisy_weight: float = 1.0, noiseless_weight: float = 1.0):
+                 noisy_weight: float = 1.0, noiseless_weight: float = 1.0,
+                 packed: bool = True):
         self.clifford_model = clifford_model
         self.noisy_weight = noisy_weight
         self.noiseless_weight = noiseless_weight
+        self.packed = packed
 
     def num_parameters(self, problem: VQEProblem) -> int:
         return problem.num_transformation_parameters
@@ -81,7 +87,8 @@ class ClaptonMethod(InitializationMethod):
     def make_loss(self, problem: VQEProblem):
         return ClaptonLoss(problem, clifford_model=self.clifford_model,
                            noisy_weight=self.noisy_weight,
-                           noiseless_weight=self.noiseless_weight)
+                           noiseless_weight=self.noiseless_weight,
+                           packed=self.packed)
 
     def decode(self, problem: VQEProblem, genome) -> DecodedPoint:
         return DecodedPoint(

@@ -65,10 +65,12 @@ class CliffordNoiseModel:
 
     def __init__(self, noise_model: NoiseModel,
                  include_twirled_relaxation: bool = False,
-                 include_basis_prep_error: bool = True):
+                 include_basis_prep_error: bool = True,
+                 packed: bool = True):
         self.noise_model = noise_model
         self.include_twirled_relaxation = include_twirled_relaxation
         self.include_basis_prep_error = include_basis_prep_error
+        self.packed = packed
         self._twirl_cache: dict[tuple[int, float], np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -83,7 +85,7 @@ class CliffordNoiseModel:
         if self.include_basis_prep_error:
             prep = 1.0 - 4.0 * nm.depol_1q / 3.0
             factors = factors * np.prod(
-                np.where(table.x, prep[None, :], 1.0), axis=1)
+                np.where(table.unpack_x(), prep[None, :], 1.0), axis=1)
         return factors
 
     def _relaxation_factors_by_code(self, qubit: int, duration: float
@@ -109,10 +111,17 @@ class CliffordNoiseModel:
 
         Walks the circuit in reverse (Heisenberg picture), attenuating at
         each noise location and conjugating the whole term table through the
-        inverse gate tableau.
+        inverse gate tableau.  With ``packed=True`` (the model's default)
+        the walk runs on the word-packed layout -- bit-identical values,
+        much less memory traffic at large n.
         """
+        table = hamiltonian.table
+        if self.packed:
+            from ..paulis.packed_table import PackedPauliTable
+
+            table = PackedPauliTable.from_table(table)
         return self.noisy_zero_state_energy_table(
-            circuit, hamiltonian.table, hamiltonian.coefficients)
+            circuit, table, hamiltonian.coefficients)
 
     def noisy_zero_state_energy_table(self, circuit: Circuit, table,
                                       coefficients: np.ndarray) -> float:
@@ -149,6 +158,10 @@ class CliffordNoiseModel:
         values come out of one vectorized walk.  Every arithmetic step is
         row-wise, so masked results are bit-identical to running the
         serial pass per genome.
+
+        ``table`` may be either representation (boolean-matrix or
+        word-packed); the walk only uses the shared column-accessor
+        surface, and packed results are bit-identical to the boolean path.
         """
         nm = self.noise_model
         table = table.copy()
@@ -167,7 +180,7 @@ class CliffordNoiseModel:
             sel = slice(None) if rows is None else rows
             p = nm.gate_depol(inst)
             if p > 0:
-                touched = (table.x[:, qubits] | table.z[:, qubits]).any(axis=1)
+                touched = table.touches_any(qubits)
                 if rows is not None:
                     touched &= rows
                 factor = (1.0 - 4.0 * p / 3.0) if len(qubits) == 1 \
@@ -175,16 +188,12 @@ class CliffordNoiseModel:
                 factors[touched] *= factor
             if flip_by_code is not None:
                 for q in qubits:
-                    codes = (table.x[sel, q].astype(np.int8)
-                             + 2 * table.z[sel, q].astype(np.int8))
-                    factors[sel] *= flip_by_code[codes]
+                    factors[sel] *= flip_by_code[table.codes_on(q, sel)]
             if relax:
                 duration = nm.gate_duration(inst)
                 for q in qubits:
                     by_code = self._relaxation_factors_by_code(q, duration)
-                    codes = (table.x[sel, q].astype(np.int8)
-                             + 2 * table.z[sel, q].astype(np.int8))
-                    factors[sel] *= by_code[codes]
+                    factors[sel] *= by_code[table.codes_on(q, sel)]
             apply_gate_to_table(table, _inverse_gate_tableau(inst),
                                 inst.qubits, rows=rows)
         return factors * table.expectation_all_zeros()
@@ -269,6 +278,44 @@ class CliffordCircuitPlan:
                 members = kept & (angles == angle)
                 bound = replace(inst, params=(float(angle),))
                 schedule.append((bound, members[point_of_row]))
+        return schedule
+
+    def reverse_leveled_schedule(self, thetas: np.ndarray,
+                                 rows_per_point: int) -> list[tuple]:
+        """Reverse schedule with parameterized slots fused per level.
+
+        The packed-layout counterpart of :meth:`reverse_schedule`: static
+        instructions come out as ``("gate", inst, None)`` exactly as
+        before, but a parameterized rotation becomes one
+        ``("slot", bound_insts, qubits, level_of_row)`` entry -- the
+        distinct kept angles as bound instructions, plus a per-row level
+        index (0 = dropped/identity) -- which
+        :func:`~repro.stabilizer.tableau.apply_gate_levels_to_table`
+        applies in a single unmasked pass.  Each row is touched by
+        exactly one angle group in either schedule, so the per-row
+        arithmetic (and hence the result) is bit-identical.
+        """
+        thetas = self._check_thetas(thetas)
+        num_points = len(thetas)
+        point_of_row = np.repeat(np.arange(num_points), rows_per_point)
+        schedule: list[tuple] = []
+        for inst, index in reversed(self.steps):
+            if index is None:
+                schedule.append(("gate", inst, None))
+                continue
+            angles = thetas[:, index]
+            folded = angles % _TWO_PI
+            kept = np.minimum(folded, _TWO_PI - folded) >= self.tol
+            distinct = np.unique(angles[kept])
+            if distinct.size == 0:
+                continue
+            level_of_point = np.zeros(num_points, dtype=np.int64)
+            bound_insts = []
+            for level, angle in enumerate(distinct, start=1):
+                level_of_point[kept & (angles == angle)] = level
+                bound_insts.append(replace(inst, params=(float(angle),)))
+            schedule.append(("slot", bound_insts, list(inst.qubits),
+                             level_of_point[point_of_row]))
         return schedule
 
 

@@ -1,0 +1,239 @@
+"""Word-packed Pauli batches: the hot-path representation of PauliTable.
+
+``PackedPauliTable`` stores the same M Pauli strings on n qubits as
+:class:`~repro.paulis.table.PauliTable`, but the X and Z bit matrices are
+``(M, ceil(n/64))`` uint64 word arrays (column ``q`` at bit ``q % 64`` of
+word ``q // 64``, tail bits zero -- see :mod:`repro.paulis.bitops`).  Every
+row-wise query becomes a handful of word ops -- popcounts for weights and
+phase counting, whole-word ``any`` for Z-type detection, word-wise XOR for
+Pauli multiplication -- touching 8-64x less memory than the byte-per-bit
+layout, which is what carries the Clifford conjugation kernel from ~32 to
+100+ qubits.
+
+The class mirrors the ``PauliTable`` surface (``tile``, ``signs``,
+``z_type_mask``, ``expectation_all_zeros``, ``weights``, ``supports_mask``,
+``mul_pauli_on_rows``, ``copy``, ``row`` and the column accessors), so the
+conjugation layers dispatch on the representation without callers changing.
+All integer/boolean arithmetic is exact, and the float formulas are
+identical to the boolean path's, so packed results are **bit-identical** to
+the bool-matrix oracle -- the equivalence suite in ``tests/test_bitops.py``
+pins this at n = 1, 63, 64, 65 and 100.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import bitops
+from .pauli import PauliString
+from .table import PauliTable
+
+
+class PackedPauliTable:
+    """A mutable batch of M Pauli strings on n qubits in uint64 words.
+
+    Like :class:`PauliTable`, instances are mutated in place by the Clifford
+    conjugation routines; use :meth:`copy` when the original must survive.
+
+    Args:
+        x: ``(M, ceil(n/64))`` uint64 matrix of packed X components.
+        z: ``(M, ceil(n/64))`` uint64 matrix of packed Z components.
+        num_qubits: Bit-column count n (not derivable from the word shape).
+        phase_exp: ``(M,)`` integer vector of phase exponents (mod 4).
+    """
+
+    __slots__ = ("x", "z", "phase_exp", "_num_qubits")
+
+    def __init__(self, x, z, num_qubits: int, phase_exp=None):
+        self.x = np.ascontiguousarray(x, dtype=np.uint64)
+        self.z = np.ascontiguousarray(z, dtype=np.uint64)
+        if self.x.shape != self.z.shape or self.x.ndim != 2:
+            raise ValueError("x and z must be (M, W) word matrices of equal shape")
+        if self.x.shape[1] != bitops.num_words(num_qubits):
+            raise ValueError(f"need {bitops.num_words(num_qubits)} words per "
+                             f"row for {num_qubits} qubits, got {self.x.shape[1]}")
+        self._num_qubits = int(num_qubits)
+        if phase_exp is None:
+            phase_exp = bitops.popcount_rows(self.x & self.z)
+        self.phase_exp = np.asarray(phase_exp, dtype=np.int64) % 4
+        if self.phase_exp.shape != (self.x.shape[0],):
+            raise ValueError("phase_exp must have one entry per row")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: PauliTable) -> "PackedPauliTable":
+        """Pack a boolean-matrix table (bit-preserving)."""
+        n = table.num_qubits
+        return cls(bitops.pack_bits(table.x, n), bitops.pack_bits(table.z, n),
+                   n, table.phase_exp.copy())
+
+    @classmethod
+    def from_paulis(cls, paulis: Sequence[PauliString],
+                    num_qubits: int | None = None) -> "PackedPauliTable":
+        return cls.from_table(PauliTable.from_paulis(paulis, num_qubits))
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[str]) -> "PackedPauliTable":
+        return cls.from_table(PauliTable.from_labels(labels))
+
+    @classmethod
+    def identity(cls, num_rows: int, num_qubits: int) -> "PackedPauliTable":
+        shape = (num_rows, bitops.num_words(num_qubits))
+        return cls(np.zeros(shape, dtype=np.uint64),
+                   np.zeros(shape, dtype=np.uint64), num_qubits,
+                   np.zeros(num_rows, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Views and conversions
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def num_words(self) -> int:
+        return self.x.shape[1]
+
+    def to_table(self) -> PauliTable:
+        """Unpack back to the boolean-matrix representation (bit-preserving)."""
+        n = self._num_qubits
+        return PauliTable(bitops.unpack_bits(self.x, n),
+                          bitops.unpack_bits(self.z, n),
+                          self.phase_exp.copy())
+
+    def copy(self) -> "PackedPauliTable":
+        return PackedPauliTable(self.x.copy(), self.z.copy(),
+                                self._num_qubits, self.phase_exp.copy())
+
+    def tile(self, reps: int) -> "PackedPauliTable":
+        """``reps`` stacked copies (copy ``p`` owns rows ``[p*M, (p+1)*M)``)."""
+        if reps < 0:
+            raise ValueError("reps must be >= 0")
+        return PackedPauliTable(np.tile(self.x, (reps, 1)),
+                                np.tile(self.z, (reps, 1)),
+                                self._num_qubits,
+                                np.tile(self.phase_exp, reps))
+
+    def row(self, i: int) -> PauliString:
+        n = self._num_qubits
+        return PauliString(bitops.unpack_bits(self.x[i:i + 1], n)[0],
+                           bitops.unpack_bits(self.z[i:i + 1], n)[0],
+                           int(self.phase_exp[i]))
+
+    def to_paulis(self) -> list[PauliString]:
+        return [self.row(i) for i in range(self.num_rows)]
+
+    # ------------------------------------------------------------------
+    # Column accessors (the conjugation kernel's contract; PauliTable
+    # exposes the same methods on the boolean layout)
+    # ------------------------------------------------------------------
+    def x_column(self, qubit: int) -> np.ndarray:
+        """Bool ``(M,)`` X-bit column."""
+        return bitops.get_bit(self.x, qubit)
+
+    def z_column(self, qubit: int) -> np.ndarray:
+        """Bool ``(M,)`` Z-bit column."""
+        return bitops.get_bit(self.z, qubit)
+
+    def codes_on(self, qubit: int,
+                 rows: np.ndarray | slice = slice(None)) -> np.ndarray:
+        """Per-row sub-Pauli codes ``x + 2z`` on one qubit (row subset)."""
+        return (bitops.get_bit_i64(self.x, qubit, rows)
+                + 2 * bitops.get_bit_i64(self.z, qubit, rows))
+
+    def touches_any(self, qubits: Sequence[int]) -> np.ndarray:
+        """Bool ``(M,)``: rows acting non-trivially on any listed qubit."""
+        acc = np.zeros(self.num_rows, dtype=np.uint64)
+        for q in qubits:
+            word, bit = divmod(q, bitops.WORD_BITS)
+            acc |= ((self.x[:, word] | self.z[:, word])
+                    >> np.uint64(bit)) & np.uint64(1)
+        return acc != 0
+
+    def unpack_x(self) -> np.ndarray:
+        """The ``(M, n)`` boolean X matrix (unpacked view for cold paths)."""
+        return bitops.unpack_bits(self.x, self._num_qubits)
+
+    def unpack_z(self) -> np.ndarray:
+        """The ``(M, n)`` boolean Z matrix (unpacked view for cold paths)."""
+        return bitops.unpack_bits(self.z, self._num_qubits)
+
+    # ------------------------------------------------------------------
+    # Batched queries used by the Clapton losses
+    # ------------------------------------------------------------------
+    def signs(self) -> np.ndarray:
+        """Real sign (+-1) of every row's canonical form.
+
+        Raises:
+            ValueError: if any row has an imaginary phase.
+        """
+        q_canonical = bitops.popcount_rows(self.x & self.z)
+        rel = (self.phase_exp - q_canonical) % 4
+        if np.any(rel % 2):
+            raise ValueError("table contains rows with imaginary phase")
+        return np.where(rel == 0, 1.0, -1.0)
+
+    def z_type_mask(self) -> np.ndarray:
+        """Boolean mask of rows that are diagonal (no X component)."""
+        return ~self.x.any(axis=1)
+
+    def expectation_all_zeros(self) -> np.ndarray:
+        """``<0|P_i|0>`` for every row: ``sign`` for Z-type rows, else 0."""
+        mask = self.z_type_mask()
+        out = np.zeros(self.num_rows)
+        if mask.any():
+            sub = PackedPauliTable(self.x[mask], self.z[mask],
+                                   self._num_qubits, self.phase_exp[mask])
+            out[mask] = sub.signs()
+        return out
+
+    def weights(self) -> np.ndarray:
+        """Pauli weight (non-identity factor count) of every row."""
+        return bitops.popcount_rows(self.x | self.z)
+
+    def supports_mask(self) -> np.ndarray:
+        """``(M, n)`` boolean matrix: True where a row touches a qubit."""
+        return bitops.unpack_bits(self.x | self.z, self._num_qubits)
+
+    # ------------------------------------------------------------------
+    # In-place batched multiplication (the workhorse of conjugation)
+    # ------------------------------------------------------------------
+    def mul_pauli_on_rows(self, mask: np.ndarray, other: PauliString) -> None:
+        """In place, replace ``row <- row * other`` for every row in ``mask``.
+
+        Same phase rule as the boolean layout:
+        ``q += q_other + 2 * |x_row & z_other|``, with the popcount running
+        word-wise.
+        """
+        if not mask.any():
+            return
+        n = self._num_qubits
+        ox = bitops.pack_bits(np.asarray(other.x, dtype=bool)[None, :], n)[0]
+        oz = bitops.pack_bits(np.asarray(other.z, dtype=bool)[None, :], n)[0]
+        self._mul_packed_on_rows(mask, ox, oz, other.phase_exp)
+
+    def mul_table_row_on_rows(self, mask: np.ndarray,
+                              other: "PackedPauliTable", i: int) -> None:
+        """Like :meth:`mul_pauli_on_rows` with an already-packed row."""
+        if not mask.any():
+            return
+        self._mul_packed_on_rows(mask, other.x[i], other.z[i],
+                                 int(other.phase_exp[i]))
+
+    def _mul_packed_on_rows(self, mask, other_x, other_z, other_q) -> None:
+        extra = bitops.popcount_rows(self.x[mask] & other_z[None, :])
+        self.phase_exp[mask] = (self.phase_exp[mask] + other_q + 2 * extra) % 4
+        self.x[mask] ^= other_x[None, :]
+        self.z[mask] ^= other_z[None, :]
+
+    def __repr__(self) -> str:
+        return (f"PackedPauliTable(num_rows={self.num_rows}, "
+                f"num_qubits={self.num_qubits})")

@@ -152,6 +152,8 @@ def _merge_duplicates(table: PauliTable, coeffs: np.ndarray
 
     Keeps first-seen order so Hamiltonians print deterministically.
     """
+    if table.num_rows == 0:
+        return table, coeffs
     keys = {}
     order = []
     merged = []

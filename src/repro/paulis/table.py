@@ -49,10 +49,22 @@ class PauliTable:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_paulis(cls, paulis: Sequence[PauliString]) -> "PauliTable":
+    def from_paulis(cls, paulis: Sequence[PauliString],
+                    num_qubits: int | None = None) -> "PauliTable":
+        """Stack Pauli strings into a table.
+
+        An empty sequence is allowed when ``num_qubits`` says how wide the
+        (0-row) table should be -- empty tables are first-class citizens of
+        the batched kernels (batch trimming produces them).
+        """
         if not paulis:
-            raise ValueError("need at least one Pauli")
+            if num_qubits is None:
+                raise ValueError("need at least one Pauli (or pass num_qubits "
+                                 "to build an empty table)")
+            return cls.identity(0, num_qubits)
         n = paulis[0].num_qubits
+        if num_qubits is not None and num_qubits != n:
+            raise ValueError("num_qubits does not match the given Paulis")
         if any(p.num_qubits != n for p in paulis):
             raise ValueError("all Paulis must act on the same number of qubits")
         x = np.stack([p.x for p in paulis])
@@ -103,6 +115,37 @@ class PauliTable:
 
     def to_paulis(self) -> list[PauliString]:
         return [self.row(i) for i in range(self.num_rows)]
+
+    # ------------------------------------------------------------------
+    # Column accessors (the conjugation kernel's contract; the packed
+    # representation exposes the same methods over uint64 words)
+    # ------------------------------------------------------------------
+    def x_column(self, qubit: int) -> np.ndarray:
+        """Bool ``(M,)`` X-bit column."""
+        return self.x[:, qubit]
+
+    def z_column(self, qubit: int) -> np.ndarray:
+        """Bool ``(M,)`` Z-bit column."""
+        return self.z[:, qubit]
+
+    def codes_on(self, qubit: int,
+                 rows: np.ndarray | slice = slice(None)) -> np.ndarray:
+        """Per-row sub-Pauli codes ``x + 2z`` on one qubit (row subset)."""
+        return (self.x[rows, qubit].astype(np.int64)
+                + 2 * self.z[rows, qubit].astype(np.int64))
+
+    def touches_any(self, qubits) -> np.ndarray:
+        """Bool ``(M,)``: rows acting non-trivially on any listed qubit."""
+        qubits = list(qubits)
+        return (self.x[:, qubits] | self.z[:, qubits]).any(axis=1)
+
+    def unpack_x(self) -> np.ndarray:
+        """The ``(M, n)`` boolean X matrix (this representation's own)."""
+        return self.x
+
+    def unpack_z(self) -> np.ndarray:
+        """The ``(M, n)`` boolean Z matrix (this representation's own)."""
+        return self.z
 
     # ------------------------------------------------------------------
     # Batched queries used by the Clapton losses

@@ -14,13 +14,16 @@ with the simulators.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from ..paulis import bitops
 from ..circuits.circuit import Circuit
 from ..circuits.gates import get_gate
+from ..paulis.packed_table import PackedPauliTable
 from ..paulis.pauli import PAULI_MATRICES, PauliString
 from ..paulis.table import PauliTable
 
@@ -79,12 +82,14 @@ class CliffordTableau:
     ``Z_k``.  The represented map is ``P -> C P C†``.
     """
 
-    __slots__ = ("rows",)
+    __slots__ = ("rows", "_lut_key", "_packed_rows")
 
     def __init__(self, rows: PauliTable):
         if rows.num_rows != 2 * rows.num_qubits:
             raise ValueError("a tableau needs exactly 2n rows on n qubits")
         self.rows = rows
+        self._lut_key = None
+        self._packed_rows = None
 
     @property
     def num_qubits(self) -> int:
@@ -103,30 +108,54 @@ class CliffordTableau:
         return cls(PauliTable(x, z))
 
     @classmethod
-    def from_circuit(cls, circuit: Circuit) -> "CliffordTableau":
-        """Tableau of a bound Clifford circuit (raises if non-Clifford)."""
+    def from_circuit(cls, circuit: Circuit,
+                     packed: bool = True) -> "CliffordTableau":
+        """Tableau of a bound Clifford circuit (raises if non-Clifford).
+
+        ``packed=True`` (the default) runs the gate loop on the word-packed
+        layout; the result is bit-identical to the boolean-matrix oracle
+        (``packed=False``), which equivalence tests keep exercising.
+        """
         if not circuit.is_clifford():
             raise ValueError("circuit is not Clifford")
         tableau = cls.identity(circuit.num_qubits)
+        rows = (PackedPauliTable.from_table(tableau.rows) if packed
+                else tableau.rows)
         for inst in circuit.instructions:
             gate = gate_tableau(inst.name, tuple(float(p) for p in inst.params))
-            apply_gate_to_table(tableau.rows, gate, inst.qubits)
+            apply_gate_to_table(rows, gate, inst.qubits)
+        if packed:
+            return cls(rows.to_table())
         return tableau
 
     # ------------------------------------------------------------------
     # Conjugation
     # ------------------------------------------------------------------
-    def conjugate_table(self, table: PauliTable) -> PauliTable:
+    def conjugate_table(self, table):
         """Batched ``P -> C P C†`` for every row of ``table`` (new table).
 
         Each input ``P = (-i)^q Z^z X^x`` maps to
         ``(-i)^q * prod_k imgZ_k^{z_k} * prod_k imgX_k^{x_k}``; the products
         are accumulated with exact Pauli multiplication, vectorized over all
-        input rows.
+        input rows.  Accepts either representation and returns a table of
+        the same kind; on the packed layout the row products are word-wise
+        XORs with popcount phase tracking, bit-identical to the boolean
+        path.
         """
         if table.num_qubits != self.num_qubits:
             raise ValueError("qubit-count mismatch")
         n = self.num_qubits
+        if isinstance(table, PackedPauliTable):
+            if self._packed_rows is None:
+                self._packed_rows = PackedPauliTable.from_table(self.rows)
+            generators = self._packed_rows
+            acc = PackedPauliTable.identity(table.num_rows, n)
+            acc.phase_exp = table.phase_exp.copy()
+            for k in range(n):
+                acc.mul_table_row_on_rows(table.z_column(k), generators, n + k)
+            for k in range(n):
+                acc.mul_table_row_on_rows(table.x_column(k), generators, k)
+            return acc
         acc = PauliTable.identity(table.num_rows, n)
         acc.phase_exp = table.phase_exp.copy()
         for k in range(n):
@@ -163,9 +192,23 @@ def gate_tableau(name: str, params: tuple = ()) -> CliffordTableau:
     return tableau_from_unitary(spec.matrix(params))
 
 
-#: code-lookup cache for small-gate conjugation; keys are ``id(gate)`` and
-#: the gate object is held strongly so ids can never be recycled.
-_LUT_CACHE: dict[int, tuple["CliffordTableau", np.ndarray, np.ndarray, np.ndarray]] = {}
+#: code-lookup cache for small-gate conjugation: a bounded LRU keyed on the
+#: gate tableau's canonical *contents* (so equal gates share one entry and a
+#: long tail of distinct gates evicts one-by-one instead of wholesale).
+_LUT_CACHE: OrderedDict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = \
+    OrderedDict()
+_LUT_CACHE_MAX = 4096
+
+
+def _gate_lut_key(gate: CliffordTableau) -> tuple:
+    """Content key of a gate tableau (memoized on the instance)."""
+    key = gate._lut_key
+    if key is None:
+        rows = gate.rows
+        key = (rows.num_qubits, rows.x.tobytes(), rows.z.tobytes(),
+               (rows.phase_exp % 4).tobytes())
+        gate._lut_key = key
+    return key
 
 
 def _conjugation_lut(gate: CliffordTableau
@@ -178,9 +221,11 @@ def _conjugation_lut(gate: CliffordTableau
     conjugating M rows costs a handful of integer gathers instead of four
     masked row multiplications.
     """
-    cached = _LUT_CACHE.get(id(gate))
+    key = _gate_lut_key(gate)
+    cached = _LUT_CACHE.get(key)
     if cached is not None:
-        return cached[1], cached[2], cached[3]
+        _LUT_CACHE.move_to_end(key)
+        return cached
     k = gate.num_qubits
     size = 4 ** k
     out_x = np.zeros((size, k), dtype=bool)
@@ -193,13 +238,13 @@ def _conjugation_lut(gate: CliffordTableau
         out_x[code] = image.x
         out_z[code] = image.z
         out_dq[code] = image.phase_exp
-    if len(_LUT_CACHE) > 4096:
-        _LUT_CACHE.clear()
-    _LUT_CACHE[id(gate)] = (gate, out_x, out_z, out_dq)
+    _LUT_CACHE[key] = (out_x, out_z, out_dq)
+    while len(_LUT_CACHE) > _LUT_CACHE_MAX:
+        _LUT_CACHE.popitem(last=False)
     return out_x, out_z, out_dq
 
 
-def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
+def apply_gate_to_table(table, gate: CliffordTableau,
                         qubits: Sequence[int],
                         rows: np.ndarray | None = None) -> None:
     """In place, conjugate every row of ``table`` by a small gate on ``qubits``.
@@ -211,6 +256,12 @@ def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
     :func:`_conjugation_lut`); the generic row-multiplication path is kept
     for gates wider than the LUT supports.
 
+    ``table`` may be a boolean-matrix :class:`~repro.paulis.table.PauliTable`
+    or a word-packed :class:`~repro.paulis.packed_table.PackedPauliTable`;
+    the packed kernel extracts and deposits single bit columns of the
+    uint64 words and is bit-identical to the boolean path (the oracle the
+    equivalence suite checks against).
+
     ``rows`` optionally restricts the conjugation to a boolean row mask --
     the seam population-batched evaluation uses to apply each genome's gate
     choice to only that genome's rows of a stacked table.  Masked rows see
@@ -221,6 +272,9 @@ def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
     k = gate.num_qubits
     if len(qubits) != k:
         raise ValueError("gate arity does not match qubit list")
+    if isinstance(table, PackedPauliTable):
+        _apply_gate_packed(table, gate, qubits, rows)
+        return
     if k <= 2:
         lut_x, lut_z, lut_dq = _conjugation_lut(gate)
         if rows is None:
@@ -263,6 +317,231 @@ def apply_gate_to_table(table: PauliTable, gate: CliffordTableau,
     table.z[:, qubits] = acc.z
     table.phase_exp += acc.phase_exp
     table.phase_exp %= 4
+
+
+def _apply_gate_packed(table: PackedPauliTable, gate: CliffordTableau,
+                       qubits: list[int],
+                       rows: np.ndarray | None) -> None:
+    """The LUT conjugation kernel on the word-packed layout.
+
+    Sub-Pauli codes are read straight out of the uint64 words and the image
+    bits are deposited back through per-code *pre-shifted* word
+    contributions aggregated per word, so a gate application is a handful
+    of O(M) word operations regardless of n.  A boolean row mask is
+    converted to an index array once up front: every subsequent gather and
+    scatter is an integer fancy-index on a contiguous 1-D word column,
+    roughly 10x cheaper than repeated boolean-mask indexing at population
+    scale.  The arithmetic mirrors the boolean kernel bit for bit.
+    """
+    k = gate.num_qubits
+    idx = None
+    if rows is not None:
+        idx = np.flatnonzero(rows)
+        if idx.size == 0:
+            return
+    if k > 2:
+        # generic fall-back: extract the sub-bits, run the boolean-path
+        # row multiplications, deposit the image bits back
+        sel = slice(None) if idx is None else idx
+        subx = np.column_stack([bitops.get_bit_i64(table.x, q, sel)
+                                for q in qubits]).astype(bool)
+        subz = np.column_stack([bitops.get_bit_i64(table.z, q, sel)
+                                for q in qubits]).astype(bool)
+        acc = PauliTable.identity(len(subx), k)
+        for j in range(k):
+            acc.mul_pauli_on_rows(subz[:, j], gate.rows.row(k + j))
+        for j in range(k):
+            acc.mul_pauli_on_rows(subx[:, j], gate.rows.row(j))
+        for j, q in enumerate(qubits):
+            bitops.set_bit(table.x, q, acc.x[:, j], sel)
+            bitops.set_bit(table.z, q, acc.z[:, j], sel)
+        table.phase_exp[sel] = (table.phase_exp[sel] + acc.phase_exp) % 4
+        return
+    lut_x, lut_z, lut_dq = _conjugation_lut(gate)
+    one = np.uint64(1)
+    # one gather per distinct word and plane, reused for code extraction
+    # and the read-modify-write deposit; code bits are read through a
+    # zero-copy int64 view so the LUT gathers index with int64 (uint64
+    # fancy indices force a bounds conversion that costs ~2.5x)
+    placements = [divmod(q, bitops.WORD_BITS) for q in qubits]
+    gathered: dict[int, tuple] = {}
+    for word, _ in placements:
+        if word in gathered:
+            continue
+        colx = table.x[:, word]
+        colz = table.z[:, word]
+        if idx is None:
+            gathered[word] = (colx, colz, colx, colz,
+                              colx.view(np.int64), colz.view(np.int64))
+        else:
+            gx = colx[idx]
+            gz = colz[idx]
+            gathered[word] = (colx, colz, gx, gz,
+                              gx.view(np.int64), gz.view(np.int64))
+    codes = None
+    for word, bit in placements:
+        xi, zi = gathered[word][4], gathered[word][5]
+        sub = ((xi >> bit) & 1) + 2 * ((zi >> bit) & 1)
+        codes = sub if codes is None else codes + 4 * sub
+    # aggregate clear masks and per-code image contributions per word on
+    # the tiny pre-shifted LUTs FIRST, then gather once per word and
+    # plane (codes were fully extracted above, so same-word qubit pairs
+    # cannot corrupt each other)
+    word_luts: dict[int, tuple] = {}
+    for j, (word, bit) in enumerate(placements):
+        shift = np.uint64(bit)
+        lx = lut_x[:, j].astype(np.uint64) << shift
+        lz = lut_z[:, j].astype(np.uint64) << shift
+        clear, ax, az = word_luts.get(word, (np.uint64(0), None, None))
+        word_luts[word] = (clear | (one << shift),
+                           lx if ax is None else ax | lx,
+                           lz if az is None else az | lz)
+    for word, (clear, ax, az) in word_luts.items():
+        cx = ax[codes]
+        cz = az[codes]
+        colx, colz, gx, gz = gathered[word][:4]
+        if idx is None:
+            colx &= ~clear
+            colx |= cx
+            colz &= ~clear
+            colz |= cz
+        else:
+            colx[idx] = (gx & ~clear) | cx
+            colz[idx] = (gz & ~clear) | cz
+    # phases stay in [0, 4), so `& 3` is the mod-4 of the boolean path
+    if idx is None:
+        phase = table.phase_exp
+        np.add(phase, lut_dq[codes], out=phase)
+        np.bitwise_and(phase, 3, out=phase)
+    else:
+        phase = table.phase_exp
+        phase[idx] = (phase[idx] + lut_dq[codes]) & 3
+
+
+#: combined multi-level LUT cache (same bounded-LRU policy as _LUT_CACHE)
+_LEVELED_LUT_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+
+
+def _leveled_lut(entries, k: int
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked LUT over gate alternatives sharing k target columns.
+
+    Entry ``level * 4**k + code`` maps to the image bits and phase
+    increment of conjugating the sub-Pauli ``code`` by that level's gate;
+    a ``None`` entry is the identity (its rows come out untouched).  A
+    ``(gate, reversed)`` entry with ``reversed=True`` applies the 2-qubit
+    gate with its qubit order flipped relative to the shared columns
+    (e.g. ``cx(l, k)`` on columns ``(k, l)``): the per-code rows are
+    re-indexed through the symplectic code permutation and the output
+    columns swapped, which is exactly the LUT the boolean path uses for
+    that target order.
+    """
+    size = 4 ** k
+    key_parts = []
+    for entry in entries:
+        if entry is None:
+            key_parts.append(None)
+        else:
+            gate, flipped = entry
+            key_parts.append((_gate_lut_key(gate), flipped))
+    key = (k, tuple(key_parts))
+    cached = _LEVELED_LUT_CACHE.get(key)
+    if cached is not None:
+        _LEVELED_LUT_CACHE.move_to_end(key)
+        return cached
+    codes = np.arange(size)
+    xs, zs, dqs = [], [], []
+    for entry in entries:
+        if entry is None:
+            xs.append(np.stack([(codes >> (2 * j)) & 1 for j in range(k)],
+                               axis=1).astype(bool))
+            zs.append(np.stack([(codes >> (2 * j + 1)) & 1 for j in range(k)],
+                               axis=1).astype(bool))
+            dqs.append(np.zeros(size, dtype=np.int64))
+            continue
+        gate, flipped = entry
+        if gate.num_qubits != k:
+            raise ValueError("gate arity does not match the column count")
+        lut_x, lut_z, lut_dq = _conjugation_lut(gate)
+        if flipped:
+            if k != 2:
+                raise ValueError("only 2-qubit gates can be order-flipped")
+            gate_codes = (codes // 4) + 4 * (codes % 4)
+            lut_x = lut_x[gate_codes][:, ::-1]
+            lut_z = lut_z[gate_codes][:, ::-1]
+            lut_dq = lut_dq[gate_codes]
+        xs.append(lut_x)
+        zs.append(lut_z)
+        dqs.append(lut_dq)
+    result = (np.ascontiguousarray(np.concatenate(xs)),
+              np.ascontiguousarray(np.concatenate(zs)),
+              np.ascontiguousarray(np.concatenate(dqs)))
+    _LEVELED_LUT_CACHE[key] = result
+    while len(_LEVELED_LUT_CACHE) > _LUT_CACHE_MAX:
+        _LEVELED_LUT_CACHE.popitem(last=False)
+    return result
+
+
+def apply_gate_levels_to_table(table: PackedPauliTable, entries,
+                               columns: Sequence[int],
+                               level_of_row: np.ndarray) -> None:
+    """In place, conjugate each row by the gate alternative its level picks.
+
+    The population-batched transformation's packed fast path: instead of
+    one masked conjugation per (slot, level) -- three boolean-mask passes
+    over the stacked table -- the level becomes an extra LUT dimension
+    (:func:`_leveled_lut`) and the whole slot is a single unmasked pass:
+    extract codes from the shared columns, gather image bits at
+    ``level * 4**k + code``, deposit.  Per row the arithmetic is the exact
+    LUT application the masked path performs, so results are
+    bit-identical; there is simply no masking left to pay for.
+
+    Args:
+        table: Word-packed stacked table (mutated in place).
+        entries: One ``(gate, reversed)`` pair or ``None`` per level.
+        columns: The k table columns all alternatives act on.
+        level_of_row: ``(num_rows,)`` integer level of every row.
+    """
+    k = len(columns)
+    lut_x, lut_z, lut_dq = _leveled_lut(entries, k)
+    one = np.uint64(1)
+    placements = [divmod(q, bitops.WORD_BITS) for q in columns]
+    words: dict[int, tuple] = {}
+    for word, _ in placements:
+        if word not in words:
+            colx = table.x[:, word]
+            colz = table.z[:, word]
+            words[word] = (colx, colz,
+                           colx.view(np.int64), colz.view(np.int64))
+    # int64 throughout: zero-copy views for bit extraction and int64
+    # LUT indices (uint64 fancy indices cost a bounds conversion)
+    codes = None
+    for word, bit in placements:
+        xi, zi = words[word][2], words[word][3]
+        sub = ((xi >> bit) & 1) + 2 * ((zi >> bit) & 1)
+        codes = sub if codes is None else codes + 4 * sub
+    combined = codes + (level_of_row << (2 * k))
+    # pre-shift and OR the tiny LUT columns per touched word, then gather
+    # once per word and plane -- same-word 2q gates pay 2 gathers, not 4
+    word_luts: dict[int, tuple] = {}
+    for j, (word, bit) in enumerate(placements):
+        shift = np.uint64(bit)
+        lx = lut_x[:, j].astype(np.uint64) << shift
+        lz = lut_z[:, j].astype(np.uint64) << shift
+        clear, ax, az = word_luts.get(word, (np.uint64(0), None, None))
+        word_luts[word] = (clear | (one << shift),
+                           lx if ax is None else ax | lx,
+                           lz if az is None else az | lz)
+    for word, (clear, ax, az) in word_luts.items():
+        colx, colz = words[word][:2]
+        colx &= ~clear
+        colx |= ax[combined]
+        colz &= ~clear
+        colz |= az[combined]
+    # phases stay in [0, 4), so `& 3` is the mod-4 of the boolean path
+    phase = table.phase_exp
+    np.add(phase, lut_dq[combined], out=phase)
+    np.bitwise_and(phase, 3, out=phase)
 
 
 def conjugate_pauli_sum(circuit: Circuit, hamiltonian) -> "PauliSum":

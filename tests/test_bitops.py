@@ -1,0 +1,509 @@
+"""Equivalence suite for the word-packed Pauli layout.
+
+The packed representation (:mod:`repro.paulis.bitops`,
+:class:`~repro.paulis.packed_table.PackedPauliTable`) must be
+**bit-identical** to the boolean-matrix oracle through every conjugation
+entry point.  This suite pins that at the interesting widths -- n = 1
+(single ragged word), 63/64/65 (word boundary straddles), and 100 (the
+large-n target) -- with seeded randomized tables, masked row subsets, and
+the full set of named Clifford gates including same-word and cross-word
+2-qubit placements.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.paulis import PackedPauliTable, PauliString, PauliSum, PauliTable
+from repro.paulis import bitops
+from repro.stabilizer import CliffordTableau, gate_tableau
+from repro.stabilizer.tableau import (
+    _LEVELED_LUT_CACHE,
+    _LUT_CACHE,
+    _LUT_CACHE_MAX,
+    _gate_lut_key,
+    apply_gate_levels_to_table,
+    apply_gate_to_table,
+)
+
+SIZES = [1, 63, 64, 65, 100]
+CLIFFORD_1Q = ["i", "x", "y", "z", "h", "s", "sdg", "sx", "sxdg"]
+CLIFFORD_2Q = ["cx", "cz", "swap"]
+
+
+def random_tables(n, num_rows, seed):
+    """A random boolean table and its packed twin (independent storage)."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((num_rows, n)) < 0.5
+    z = rng.random((num_rows, n)) < 0.5
+    phase = rng.integers(0, 4, num_rows)
+    table = PauliTable(x.copy(), z.copy(), phase.copy())
+    return table, PackedPauliTable.from_table(table), rng
+
+
+def assert_tables_equal(packed: PackedPauliTable, table: PauliTable):
+    back = packed.to_table()
+    np.testing.assert_array_equal(back.x, table.x)
+    np.testing.assert_array_equal(back.z, table.z)
+    np.testing.assert_array_equal(back.phase_exp, table.phase_exp)
+
+
+class TestBitops:
+    def test_num_words(self):
+        assert bitops.num_words(0) == 0
+        assert bitops.num_words(1) == 1
+        assert bitops.num_words(64) == 1
+        assert bitops.num_words(65) == 2
+        assert bitops.num_words(128) == 2
+        with pytest.raises(ValueError):
+            bitops.num_words(-1)
+
+    def test_tail_mask(self):
+        assert bitops.tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert bitops.tail_mask(1) == np.uint64(1)
+        assert bitops.tail_mask(65) == np.uint64(1)
+        assert bitops.tail_mask(100) == np.uint64((1 << 36) - 1)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_pack_unpack_round_trip(self, n):
+        rng = np.random.default_rng(n)
+        bits = rng.random((37, n)) < 0.5
+        words = bitops.pack_bits(bits, n)
+        assert words.shape == (37, bitops.num_words(n))
+        assert words.dtype == np.uint64
+        np.testing.assert_array_equal(bitops.unpack_bits(words, n), bits)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_tail_bits_are_zero(self, n):
+        rng = np.random.default_rng(n + 1)
+        bits = rng.random((20, n)) < 0.9
+        words = bitops.pack_bits(bits, n)
+        assert np.all(words[:, -1] & ~bitops.tail_mask(n) == 0)
+
+    def test_pack_unpack_zero_rows(self):
+        words = bitops.pack_bits(np.zeros((0, 65), dtype=bool), 65)
+        assert words.shape == (0, 2)
+        assert bitops.unpack_bits(words, 65).shape == (0, 65)
+
+    def test_pack_wider_register(self):
+        bits = np.eye(3, dtype=bool)
+        words = bitops.pack_bits(bits, 100)
+        assert words.shape == (3, 2)
+        np.testing.assert_array_equal(bitops.unpack_bits(words, 100)[:, :3],
+                                      bits)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_popcount_matches_unpacked_sum(self, n):
+        rng = np.random.default_rng(n + 2)
+        bits = rng.random((25, n)) < 0.5
+        words = bitops.pack_bits(bits, n)
+        counts = bitops.popcount_rows(words)
+        assert counts.dtype == np.int64
+        np.testing.assert_array_equal(counts, bits.sum(axis=1))
+
+    def test_popcount_byte_table_fallback(self):
+        # the pre-numpy-2.0 byte-table path must agree with the ufunc
+        table = np.array([bin(v).count("1") for v in range(256)],
+                         dtype=np.uint8)
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**64, size=(11, 3), dtype=np.uint64)
+        per_byte = table[words.view(np.uint8)]
+        fallback = per_byte.reshape(words.shape + (8,)).sum(axis=-1,
+                                                            dtype=np.uint8)
+        np.testing.assert_array_equal(fallback, bitops.popcount(words))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_get_set_bit_round_trip(self, n):
+        rng = np.random.default_rng(n + 3)
+        bits = rng.random((30, n)) < 0.5
+        words = bitops.pack_bits(bits, n)
+        for q in {0, n // 2, n - 1}:
+            np.testing.assert_array_equal(bitops.get_bit(words, q),
+                                          bits[:, q])
+            np.testing.assert_array_equal(bitops.get_bit_i64(words, q),
+                                          bits[:, q].astype(np.int64))
+            new = rng.random(30) < 0.5
+            bitops.set_bit(words, q, new)
+            bits[:, q] = new
+        np.testing.assert_array_equal(bitops.unpack_bits(words, n), bits)
+
+    def test_get_set_bit_row_subset(self):
+        n = 65  # ragged last word: column 64 lives at bit 0 of word 1
+        rng = np.random.default_rng(9)
+        bits = rng.random((40, n)) < 0.5
+        words = bitops.pack_bits(bits, n)
+        idx = np.flatnonzero(rng.random(40) < 0.3)
+        for q in (0, 63, 64):
+            np.testing.assert_array_equal(
+                bitops.get_bit_i64(words, q, idx),
+                bits[idx, q].astype(np.int64))
+            new = rng.random(len(idx)) < 0.5
+            bitops.set_bit(words, q, new, idx)
+            bits[idx, q] = new
+        np.testing.assert_array_equal(bitops.unpack_bits(words, n), bits)
+
+
+class TestPackedPauliTable:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_round_trip(self, n):
+        table, packed, _ = random_tables(n, 23, n)
+        assert packed.num_rows == 23
+        assert packed.num_qubits == n
+        assert packed.num_words == bitops.num_words(n)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_queries_match_bool_oracle(self, n):
+        table, packed, rng = random_tables(n, 29, n + 10)
+        # force real phases so signs() is defined (both layouts identically)
+        real = (np.sum(table.x & table.z, axis=1)
+                + 2 * rng.integers(0, 2, 29)) % 4
+        table.phase_exp[:] = real
+        packed.phase_exp[:] = real
+        np.testing.assert_array_equal(packed.signs(), table.signs())
+        np.testing.assert_array_equal(packed.z_type_mask(),
+                                      table.z_type_mask())
+        np.testing.assert_array_equal(packed.expectation_all_zeros(),
+                                      table.expectation_all_zeros())
+        np.testing.assert_array_equal(packed.weights(), table.weights())
+        np.testing.assert_array_equal(packed.supports_mask(),
+                                      table.supports_mask())
+        np.testing.assert_array_equal(packed.unpack_x(), table.x)
+        np.testing.assert_array_equal(packed.unpack_z(), table.z)
+        for q in {0, n // 2, n - 1}:
+            np.testing.assert_array_equal(packed.x_column(q),
+                                          table.x_column(q))
+            np.testing.assert_array_equal(packed.z_column(q),
+                                          table.z_column(q))
+            idx = np.flatnonzero(rng.random(29) < 0.4)
+            np.testing.assert_array_equal(packed.codes_on(q, idx),
+                                          table.codes_on(q, idx))
+        qubits = sorted({0, n // 2, n - 1})
+        np.testing.assert_array_equal(packed.touches_any(qubits),
+                                      table.touches_any(qubits))
+
+    def test_signs_rejects_imaginary_phase(self):
+        packed = PackedPauliTable.from_labels(["X"])
+        packed.phase_exp[0] = 1
+        with pytest.raises(ValueError):
+            packed.signs()
+
+    @pytest.mark.parametrize("n", [1, 65])
+    def test_mul_pauli_on_rows_matches(self, n):
+        table, packed, rng = random_tables(n, 31, n + 20)
+        other_x = rng.random(n) < 0.5
+        other_z = rng.random(n) < 0.5
+        other = PauliString(other_x, other_z, 2)
+        mask = rng.random(31) < 0.5
+        table.mul_pauli_on_rows(mask, other)
+        packed.mul_pauli_on_rows(mask, other)
+        assert_tables_equal(packed, table)
+
+    def test_tile_and_row(self):
+        packed = PackedPauliTable.from_labels(["XZ", "YI"])
+        tiled = packed.tile(3)
+        assert tiled.num_rows == 6
+        assert str(tiled.row(4)) == str(packed.row(0))
+        assert str(tiled.row(5)) == str(packed.row(1))
+
+
+class TestEmptyTables:
+    """0-row tables are first class in both representations."""
+
+    def test_from_paulis_empty_needs_width(self):
+        with pytest.raises(ValueError):
+            PauliTable.from_paulis([])
+        table = PauliTable.from_paulis([], num_qubits=5)
+        assert table.num_rows == 0
+        assert table.num_qubits == 5
+        packed = PackedPauliTable.from_paulis([], num_qubits=5)
+        assert packed.num_rows == 0
+        assert packed.num_qubits == 5
+
+    @pytest.mark.parametrize("n", [1, 64, 100])
+    def test_tile_zero(self, n):
+        table, packed, _ = random_tables(n, 7, n)
+        for empty in (table.tile(0), packed.tile(0)):
+            assert empty.num_rows == 0
+            assert empty.num_qubits == n
+        assert_tables_equal(packed.tile(0), table.tile(0))
+
+    def test_empty_queries(self):
+        for empty in (PauliTable.from_paulis([], num_qubits=4),
+                      PackedPauliTable.from_paulis([], num_qubits=4)):
+            assert empty.signs().shape == (0,)
+            assert empty.expectation_all_zeros().shape == (0,)
+            assert empty.weights().shape == (0,)
+            assert empty.z_type_mask().shape == (0,)
+
+    def test_empty_conjugation(self):
+        rng = np.random.default_rng(5)
+        circuit = _random_clifford_circuit(4, 12, rng)
+        tableau = CliffordTableau.from_circuit(circuit)
+        table = PauliTable.from_paulis([], num_qubits=4)
+        packed = PackedPauliTable.from_paulis([], num_qubits=4)
+        out_b = tableau.conjugate_table(table)
+        out_p = tableau.conjugate_table(packed)
+        assert out_b.num_rows == 0
+        assert out_p.num_rows == 0
+        gate = gate_tableau("h")
+        apply_gate_to_table(table, gate, [1])
+        apply_gate_to_table(packed, gate, [1])
+        assert_tables_equal(packed, table)
+
+    def test_empty_pauli_sum(self):
+        empty = PauliSum(PauliTable.from_paulis([], num_qubits=3),
+                         np.zeros(0))
+        assert empty.num_terms == 0
+
+
+def _random_clifford_circuit(num_qubits, depth, rng):
+    circ = Circuit(num_qubits)
+    for _ in range(depth):
+        choice = rng.integers(0, 3)
+        if choice == 0 or num_qubits == 1:
+            name = CLIFFORD_1Q[rng.integers(0, len(CLIFFORD_1Q))]
+            circ.append(name, [int(rng.integers(0, num_qubits))])
+        elif choice == 1:
+            name = ["rx", "ry", "rz"][rng.integers(0, 3)]
+            angle = int(rng.integers(0, 4)) * math.pi / 2
+            circ.append(name, [int(rng.integers(0, num_qubits))], [angle])
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circ.append(CLIFFORD_2Q[rng.integers(0, 3)], [int(a), int(b)])
+    return circ
+
+
+class TestConjugationEquivalence:
+    """Every conjugation entry point, packed vs boolean oracle."""
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("name", CLIFFORD_1Q + ["rx", "ry", "rz"])
+    def test_single_qubit_gates(self, n, name):
+        params = (math.pi / 2,) if name.startswith("r") else ()
+        gate = gate_tableau(name, params)
+        table, packed, rng = random_tables(n, 41, hash((n, name)) % 2**31)
+        for q in sorted({0, n // 2, n - 1}):
+            for rows in (None, rng.random(41) < 0.4,
+                         np.zeros(41, dtype=bool)):
+                apply_gate_to_table(table, gate, [q], rows=rows)
+                apply_gate_to_table(packed, gate, [q], rows=rows)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [2, 63, 64, 65, 100])
+    @pytest.mark.parametrize("name", CLIFFORD_2Q)
+    def test_two_qubit_gates(self, n, name):
+        gate = gate_tableau(name)
+        table, packed, rng = random_tables(n, 41, hash((n, name)) % 2**31)
+        pairs = [(0, n - 1), (n - 1, 0)]
+        if n >= 65:
+            # same-word, cross-word, and word-boundary placements
+            pairs += [(3, 17), (63, 64), (64, 63), (62, 64)]
+        for qubits in pairs:
+            if qubits[0] == qubits[1]:
+                continue
+            for rows in (None, rng.random(41) < 0.4,
+                         np.zeros(41, dtype=bool)):
+                apply_gate_to_table(table, gate, list(qubits), rows=rows)
+                apply_gate_to_table(packed, gate, list(qubits), rows=rows)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [3, 65, 100])
+    def test_wide_gate_fallback(self, n):
+        # k > 2 has no LUT: the packed path extracts the sub-bits and runs
+        # the boolean row multiplications, then deposits the image back
+        rng = np.random.default_rng(n)
+        gate = CliffordTableau.from_circuit(_random_clifford_circuit(3, 15,
+                                                                     rng))
+        table, packed, rng = random_tables(n, 33, n + 40)
+        qubits = sorted({0, n // 2, n - 1})
+        if len(qubits) < 3:
+            qubits = [0, 1, 2]
+        for rows in (None, rng.random(33) < 0.4):
+            apply_gate_to_table(table, gate, qubits, rows=rows)
+            apply_gate_to_table(packed, gate, qubits, rows=rows)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [2, 64, 65, 100])
+    def test_leveled_pass_matches_masked_passes(self, n):
+        table, packed, rng = random_tables(n, 60, n + 50)
+        levels = rng.integers(0, 4, 60)
+        k, lq = 0, n - 1
+        entries = [None,
+                   (gate_tableau("cx"), False),
+                   (gate_tableau("cx"), True),
+                   (gate_tableau("swap"), False)]
+        apply_gate_levels_to_table(packed, entries, [k, lq], levels)
+        for level in (1, 2, 3):
+            rows = levels == level
+            if level == 1:
+                apply_gate_to_table(table, gate_tableau("cx"), [k, lq],
+                                    rows=rows)
+            elif level == 2:
+                apply_gate_to_table(table, gate_tableau("cx"), [lq, k],
+                                    rows=rows)
+            else:
+                apply_gate_to_table(table, gate_tableau("swap"), [k, lq],
+                                    rows=rows)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [1, 65])
+    def test_leveled_rotations_match_masked_passes(self, n):
+        table, packed, rng = random_tables(n, 60, n + 60)
+        levels = rng.integers(0, 4, 60)
+        q = n - 1
+        entries = [None] + [
+            (gate_tableau("rz", (-float(level * (math.pi / 2)),)), False)
+            for level in (1, 2, 3)]
+        apply_gate_levels_to_table(packed, entries, [q], levels)
+        for level in (1, 2, 3):
+            gate = gate_tableau("rz", (-float(level * (math.pi / 2)),))
+            apply_gate_to_table(table, gate, [q], rows=levels == level)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [1, 5, 65])
+    def test_from_circuit_packed_matches_bool(self, n):
+        rng = np.random.default_rng(n + 70)
+        circuit = _random_clifford_circuit(n, 30, rng)
+        assert (CliffordTableau.from_circuit(circuit, packed=True)
+                == CliffordTableau.from_circuit(circuit, packed=False))
+
+    @pytest.mark.parametrize("n", [1, 5, 65])
+    def test_conjugate_table_packed_matches_bool(self, n):
+        rng = np.random.default_rng(n + 80)
+        tableau = CliffordTableau.from_circuit(
+            _random_clifford_circuit(n, 25, rng))
+        table, packed, _ = random_tables(n, 19, n + 81)
+        assert_tables_equal(tableau.conjugate_table(packed),
+                            tableau.conjugate_table(table))
+
+
+class TestTransformationEquivalence:
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_transform_table(self, n):
+        from repro.core.transformation import transform_table
+        from repro.hamiltonians import ising_model
+
+        from repro.circuits import num_transformation_parameters
+
+        ham = ising_model(n, 1.0)
+        rng = np.random.default_rng(n)
+        gamma = rng.integers(0, 4, num_transformation_parameters(n))
+        packed = transform_table(ham, gamma, packed=True)
+        table = transform_table(ham, gamma, packed=False)
+        assert isinstance(packed, PackedPauliTable)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_transform_table_many(self, n):
+        from repro.core.transformation import transform_table_many
+        from repro.hamiltonians import ising_model
+
+        from repro.circuits import num_transformation_parameters
+
+        ham = ising_model(n, 1.0)
+        rng = np.random.default_rng(n + 1)
+        gammas = rng.integers(0, 4,
+                              size=(9, num_transformation_parameters(n)))
+        packed = transform_table_many(ham, gammas, packed=True)
+        table = transform_table_many(ham, gammas, packed=False)
+        assert isinstance(packed, PackedPauliTable)
+        assert_tables_equal(packed, table)
+
+    @pytest.mark.parametrize("loss_name", ["clapton", "cafqa", "ncafqa"])
+    def test_losses_bit_identical(self, loss_name):
+        from repro.core import CafqaLoss, ClaptonLoss, NcafqaLoss, VQEProblem
+        from repro.hamiltonians import ising_model
+        from repro.noise import NoiseModel
+
+        n = 5
+        ham = ising_model(n, 1.0)
+        noise = NoiseModel.uniform(n, depol_1q=1e-3, depol_2q=8e-3,
+                                   readout=2e-2, t1=80e-6)
+        problem = VQEProblem.logical(ham, noise_model=noise)
+        cls = {"clapton": ClaptonLoss, "cafqa": CafqaLoss,
+               "ncafqa": NcafqaLoss}[loss_name]
+        dim = (problem.num_transformation_parameters
+               if loss_name == "clapton" else problem.num_vqe_parameters)
+        rng = np.random.default_rng(11)
+        genomes = rng.integers(0, 4, size=(12, dim))
+        loss_p = cls(problem, packed=True)
+        loss_b = cls(problem, packed=False)
+        np.testing.assert_array_equal(loss_p.evaluate_many(genomes),
+                                      loss_b.evaluate_many(genomes))
+        np.testing.assert_array_equal(loss_p(genomes[0]), loss_b(genomes[0]))
+
+    def test_embed_table_packed(self):
+        from repro.core.transformation import embed_table
+
+        table, packed, _ = random_tables(5, 13, 90)
+        positions = [7, 0, 3, 9, 4]
+        out_b = embed_table(table, positions, 10)
+        out_p = embed_table(packed, positions, 10)
+        assert isinstance(out_p, PackedPauliTable)
+        assert_tables_equal(out_p, out_b)
+        # trivial embedding is a plain copy in both representations
+        same = embed_table(packed, list(range(5)), 5)
+        assert same is not packed
+        assert_tables_equal(same, table)
+
+
+class TestLutCache:
+    """The conjugation LUT caches are bounded LRU keyed on gate contents."""
+
+    def test_content_key_shared_between_equal_gates(self):
+        a = gate_tableau("h")
+        b = CliffordTableau(a.rows.copy())
+        assert a is not b
+        assert _gate_lut_key(a) == _gate_lut_key(b)
+        # memoized on the instance after first computation
+        assert a._lut_key is not None
+        assert _gate_lut_key(a) is a._lut_key
+
+    def test_distinct_gates_distinct_keys(self):
+        assert _gate_lut_key(gate_tableau("h")) != _gate_lut_key(
+            gate_tableau("s"))
+
+    def test_cache_bounded_with_lru_eviction(self, monkeypatch):
+        import repro.stabilizer.tableau as tableau_mod
+
+        monkeypatch.setattr(tableau_mod, "_LUT_CACHE_MAX", 6)
+        _LUT_CACHE.clear()
+        try:
+            first = gate_tableau("h")
+            tableau_mod._conjugation_lut(first)
+            first_key = _gate_lut_key(first)
+            assert first_key in _LUT_CACHE
+            rng = np.random.default_rng(0)
+            inserted = {first_key}
+            while len(inserted) < 10:
+                gate = CliffordTableau.from_circuit(
+                    _random_clifford_circuit(2, 10, rng))
+                key = _gate_lut_key(gate)
+                if key in inserted:
+                    continue
+                tableau_mod._conjugation_lut(gate)
+                # keep the H entry hot so LRU eviction skips it
+                tableau_mod._conjugation_lut(first)
+                inserted.add(key)
+            assert len(_LUT_CACHE) <= 6
+            assert first_key in _LUT_CACHE  # hot entry survived
+        finally:
+            _LUT_CACHE.clear()
+
+    def test_leveled_cache_bounded(self):
+        _LEVELED_LUT_CACHE.clear()
+        entries = [None, (gate_tableau("cx"), False),
+                   (gate_tableau("cx"), True),
+                   (gate_tableau("swap"), False)]
+        packed = PackedPauliTable.from_labels(["XZ", "ZX"])
+        apply_gate_levels_to_table(packed, entries, [0, 1],
+                                   np.array([0, 0]))
+        assert len(_LEVELED_LUT_CACHE) == 1
+        # a second identical slot reuses the entry, not a new one
+        apply_gate_levels_to_table(packed, entries, [0, 1],
+                                   np.array([1, 2]))
+        assert len(_LEVELED_LUT_CACHE) == 1
+        assert len(_LEVELED_LUT_CACHE) <= _LUT_CACHE_MAX
