@@ -25,7 +25,7 @@ from conftest import print_banner, run_once
 from repro.backends import ALL_BACKENDS
 from repro.experiments import Experiment, bench_engine
 from repro.hamiltonians import get_benchmark
-from repro.obs import RecordingTracer, get_tracer, use_tracer
+from repro.obs import KERNEL, RecordingTracer, get_tracer, use_tracer
 
 #: Hard acceptance bar: instrumentation must cost < 2% with no tracer.
 MAX_OVERHEAD_FRACTION = 0.02
@@ -66,12 +66,19 @@ def _emit_bench_json(payload: dict) -> None:
 
 def test_noop_tracing_overhead_under_budget(benchmark):
     # wall time of the instrumented run with the *null* tracer -- this
-    # is what users pay by default, instrumentation included
+    # is what users pay by default, instrumentation included (the
+    # always-on kernel counters are part of this measured path)
+    kernel_before = KERNEL.snapshot()
     seconds_plain = run_once(
         benchmark,
         lambda: (lambda t0: (_working_point_run(),
                              time.perf_counter() - t0)[1])(
             time.perf_counter()))
+    kernel_delta = KERNEL.delta(kernel_before)
+    # the working point runs the packed hot path, so the kernel
+    # counters must have advanced inside the budgeted wall time
+    assert kernel_delta["words"] > 0 and kernel_delta["rows"] > 0, \
+        kernel_delta
 
     # span volume of the identical run (recording tracer counts them)
     with use_tracer(RecordingTracer()) as tracer:
@@ -85,6 +92,7 @@ def test_noop_tracing_overhead_under_budget(benchmark):
     print(f"run wall time (null tracer) : {seconds_plain:.3f}s")
     print(f"spans per run               : {num_spans}")
     print(f"null span cost              : {per_span * 1e9:.0f} ns")
+    print(f"kernel words per run        : {kernel_delta['words']}")
     print(f"implied overhead            : {overhead * 100:.4f}% "
           f"(budget {MAX_OVERHEAD_FRACTION * 100:.0f}%)")
 
@@ -93,6 +101,8 @@ def test_noop_tracing_overhead_under_budget(benchmark):
         "seconds_plain": round(seconds_plain, 6),
         "spans_per_run": num_spans,
         "null_span_ns": round(per_span * 1e9, 1),
+        "kernel_words": kernel_delta["words"],
+        "kernel_rows": kernel_delta["rows"],
         "overhead_fraction": round(overhead, 8),
         "budget_fraction": MAX_OVERHEAD_FRACTION,
     })

@@ -17,9 +17,14 @@ Endpoints::
                               the campaign completes
     GET  /report?campaign=ID  cached markdown report (&fmt=csv for rows,
                               &tier=..., &improver=...)
+    GET  /trace?campaign=ID   merged fleet trace as NDJSON (404 until a
+                              worker ships its first span batch)
     POST /lease               {"worker_id"} -> task grant or idle
     POST /heartbeat           {"worker_id", "leases": [...]}
     POST /complete            {"worker_id", "campaign", "record"}
+    POST /traces              {"worker_id", "campaign", "unix_t0",
+                              "spans": [...]} span batch -> merged
+                              per-campaign trace.jsonl
 
 Worker endpoints are POST because they mutate lease state; read-side
 endpoints are plain GETs so ``curl`` is a usable debugging client.
@@ -121,6 +126,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     improver=(query.get("improver") or ["clapton"])[0])
                 self._send_text(text, "text/csv" if fmt == "csv"
                                 else "text/markdown")
+            elif url.path == "/trace":
+                text = self._campaign(query).trace_text()
+                if text is None:
+                    self._send_json({"error": "no trace ingested yet"},
+                                    status=404)
+                else:
+                    self._send_text(text, "application/x-ndjson")
             else:
                 self._send_json({"error": f"unknown path {url.path}"},
                                 status=404)
@@ -180,6 +192,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(self.state.complete(
                     payload["worker_id"], payload.get("campaign"),
                     payload["record"]))
+            elif url.path == "/traces":
+                self._send_json(self.state.ingest_traces(payload))
             else:
                 self._send_json({"error": f"unknown path {url.path}"},
                                 status=404)

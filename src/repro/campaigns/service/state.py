@@ -23,7 +23,9 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from ...obs import REGISTRY, render_prometheus
+from ...obs import (REGISTRY, TraceContext, build_info, current_span_id,
+                    new_trace_id, publish_kernel_metrics,
+                    render_prometheus)
 from ..report import render_report
 from ..retry import NO_RETRY, RetryPolicy
 from ..spec import CampaignSpec
@@ -50,13 +52,21 @@ def campaign_id(spec: CampaignSpec) -> str:
 
 
 class Campaign:
-    """One registered campaign: scheduler + store + cached reports."""
+    """One registered campaign: scheduler + store + cached reports +
+    the merged fleet trace collector."""
 
     def __init__(self, cid: str, scheduler: CampaignScheduler):
         self.id = cid
         self.scheduler = scheduler
         self._report_cache: dict[tuple, tuple[int, str]] = {}
         self._lock = threading.Lock()
+        #: one trace per campaign; every lease grant carries this id
+        self.trace_id = new_trace_id()
+        self._trace_lock = threading.Lock()
+        self._trace_ready = False
+        self._trace_fh = None
+        self._trace_t0: float | None = None
+        self._trace_mem: list[str] = []
 
     @property
     def store(self) -> ResultStore:
@@ -94,6 +104,108 @@ class Campaign:
                                  f"expected 'markdown' or 'csv'")
             self._report_cache[key] = (generation, text)
             return text
+
+    # ------------------------------------------------------------------
+    # Merged fleet trace (POST /traces collector)
+    # ------------------------------------------------------------------
+    @property
+    def trace_path(self) -> Path | None:
+        if self.store.path is None:
+            return None
+        return Path(self.store.path) / "trace.jsonl"
+
+    def _ensure_trace(self, unix_t0: float) -> None:
+        """Open (or recover) this campaign's merged trace sink.
+
+        A restarted server appending to an existing ``trace.jsonl``
+        adopts its recorded ``trace_id`` and ``unix_t0`` anchor, so
+        spans shipped before and after the restart stay on one
+        coherent timebase under one trace id.
+        """
+        if self._trace_ready:
+            return
+        path = self.trace_path
+        if path is not None and path.exists():
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    first = json.loads(fh.readline())
+                if first.get("kind") == "meta":
+                    self.trace_id = first.get("trace_id", self.trace_id)
+                    self._trace_t0 = first.get("unix_t0")
+            except (OSError, json.JSONDecodeError):
+                pass  # torn header; rebase on this batch
+            if self._trace_t0 is None:
+                self._trace_t0 = unix_t0
+            self._trace_fh = path.open("a", encoding="utf-8")
+            self._trace_ready = True
+            return
+        self._trace_t0 = unix_t0
+        meta = {"kind": "meta", "version": 1, "clock": "unix_relative",
+                "merged": True, "trace_id": self.trace_id,
+                "campaign": self.id, "unix_t0": unix_t0, **build_info()}
+        line = json.dumps(meta) + "\n"
+        if path is None:
+            self._trace_mem.append(line)
+        else:
+            self._trace_fh = path.open("w", encoding="utf-8")
+            self._trace_fh.write(line)
+            self._trace_fh.flush()
+        self._trace_ready = True
+
+    def ingest_spans(self, worker_id: str, unix_t0: float,
+                     spans: list[dict]) -> int:
+        """Merge one worker's span batch into the campaign trace.
+
+        Normalization makes batches from independent processes cohere:
+        span/parent ids are namespaced ``"<worker>:<id>"`` (the summary
+        treats ids as opaque keys), ``start`` offsets are rebased from
+        the worker's monotonic clock onto the campaign's unix anchor
+        via the batch's ``unix_t0``, and every span is stamped with a
+        top-level ``"worker"`` for per-worker breakdowns.
+        """
+        accepted = 0
+        with self._trace_lock:
+            self._ensure_trace(unix_t0)
+            shift = unix_t0 - self._trace_t0
+            lines = []
+            for span in spans:
+                if not isinstance(span, dict) or "id" not in span:
+                    continue
+                record = dict(span)
+                record["id"] = f"{worker_id}:{span['id']}"
+                if span.get("parent") is not None:
+                    record["parent"] = f"{worker_id}:{span['parent']}"
+                record["start"] = round(float(span.get("start", 0.0))
+                                        + shift, 9)
+                record["worker"] = worker_id
+                lines.append(json.dumps(record, separators=(",", ":"))
+                             + "\n")
+                accepted += 1
+            if self._trace_fh is not None:
+                self._trace_fh.writelines(lines)
+                self._trace_fh.flush()
+            else:
+                self._trace_mem.extend(lines)
+        return accepted
+
+    def trace_text(self) -> str | None:
+        """The merged trace as NDJSON text (``GET /trace``); ``None``
+        until the first batch arrives."""
+        with self._trace_lock:
+            if not self._trace_ready:
+                return None
+            path = self.trace_path
+            if path is None:
+                return "".join(self._trace_mem)
+            if self._trace_fh is not None:
+                self._trace_fh.flush()
+            return path.read_text(encoding="utf-8")
+
+    def close_trace(self) -> None:
+        with self._trace_lock:
+            if self._trace_fh is not None and not self._trace_fh.closed:
+                self._trace_fh.flush()
+                self._trace_fh.close()
 
 
 class ServiceState:
@@ -219,6 +331,7 @@ class ServiceState:
         (campaign, state) so dashboards can plot per-campaign progress
         without parsing ``/status`` JSON.
         """
+        publish_kernel_metrics()
         uptime = REGISTRY.gauge(
             "repro_uptime_seconds", "Seconds since this service started")
         uptime.set(self.clock() - self.started)
@@ -253,12 +366,18 @@ class ServiceState:
             grant = campaign.scheduler.next_task(worker_id)
             if grant is not None:
                 task, lease = grant
+                context = TraceContext(trace_id=campaign.trace_id,
+                                       parent_span=current_span_id(),
+                                       campaign=campaign.id,
+                                       task_id=lease.task_id,
+                                       worker=worker_id)
                 return {"task": task.to_dict(),
                         "campaign": campaign.id,
                         "task_id": lease.task_id,
                         "deadline": lease.deadline,
                         "ttl": campaign.scheduler.lease_ttl,
-                        "scheduling_attempt": lease.attempt}
+                        "scheduling_attempt": lease.attempt,
+                        "trace": context.to_dict()}
         return {"task": None, "done": self.all_done}
 
     def heartbeat(self, worker_id: str,
@@ -290,10 +409,40 @@ class ServiceState:
         accepted = campaign.scheduler.report(worker_id, record)
         return {"accepted": accepted, "done": campaign.scheduler.done}
 
+    def ingest_traces(self, payload: dict) -> dict:
+        """Accept a worker's span batch (``POST /traces``).
+
+        Spans route to campaigns by their ``tags.campaign`` (stamped on
+        ``worker.task`` spans and inherited by the batch-level hint for
+        everything else); spans for unknown campaigns are dropped, not
+        fatal -- a worker must never crash because the server forgot a
+        campaign.
+        """
+        worker_id = str(payload.get("worker_id") or "unknown")
+        unix_t0 = float(payload.get("unix_t0") or 0.0)
+        hint = payload.get("campaign")
+        groups: dict[str | None, list[dict]] = {}
+        for span in payload.get("spans") or []:
+            if not isinstance(span, dict):
+                continue
+            cid = (span.get("tags") or {}).get("campaign") or hint
+            groups.setdefault(cid, []).append(span)
+        accepted = 0
+        dropped = 0
+        for cid, group in groups.items():
+            try:
+                campaign = self.get(cid)
+            except KeyError:
+                dropped += len(group)
+                continue
+            accepted += campaign.ingest_spans(worker_id, unix_t0, group)
+        return {"accepted": accepted, "dropped": dropped}
+
     def tick(self) -> int:
         """Expire overdue leases across all campaigns (ticker thread)."""
         return sum(len(c.scheduler.tick()) for c in self.campaigns())
 
     def close(self) -> None:
         for campaign in self.campaigns():
+            campaign.close_trace()
             campaign.scheduler.close()

@@ -35,7 +35,8 @@ from typing import Callable, Protocol
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
-from ...obs import REGISTRY, get_tracer
+from ...obs import (REGISTRY, ShippingTracer, TraceContext, get_tracer,
+                    set_tracer)
 from ..runner import execute_task
 
 logger = logging.getLogger("repro.service.worker")
@@ -53,7 +54,12 @@ def default_worker_id() -> str:
 
 
 class SchedulerClient(Protocol):
-    """What a worker needs from a scheduler, local or remote."""
+    """What a worker needs from a scheduler, local or remote.
+
+    ``post_traces`` is optional: when a client exposes it, the worker
+    loop installs a :class:`~repro.obs.ShippingTracer` and batch-ships
+    finished spans to the scheduler's trace collector.
+    """
 
     def lease(self, worker_id: str) -> dict:
         """One work grant (see ``ServiceState.lease`` for the shape)."""
@@ -83,6 +89,9 @@ class LocalSchedulerClient:
                  record: dict) -> dict:
         return self.state.complete(worker_id, campaign, record)
 
+    def post_traces(self, payload: dict) -> dict:
+        return self.state.ingest_traces(payload)
+
 
 class HttpSchedulerClient:
     """JSON-over-HTTP client for a remote ``repro serve``."""
@@ -111,6 +120,9 @@ class HttpSchedulerClient:
         return self._post("/complete", {"worker_id": worker_id,
                                         "campaign": campaign,
                                         "record": record})
+
+    def post_traces(self, payload: dict) -> dict:
+        return self._post("/traces", payload)
 
 
 class _Heartbeat:
@@ -171,72 +183,141 @@ def run_worker(client: SchedulerClient,
         on_event: Observer hook ``(kind, payload)`` for CLI logging;
             kinds: ``lease``, ``record``, ``idle``, ``lost``.
 
+    When the client exposes ``post_traces`` (both bundled clients do),
+    the loop installs a :class:`~repro.obs.ShippingTracer` for its
+    lifetime and batch-ships finished spans to the scheduler's trace
+    collector after every completed task and on idle polls -- wrapping
+    any already-installed recording tracer as a pass-through sink, or
+    sharing a ShippingTracer another local worker thread installed.
+    Shipping failures requeue the batch and never crash the worker.
+
     Returns the number of tasks executed.
     """
     worker_id = worker_id or default_worker_id()
     executed = 0
     connect_failures = 0
     notify = on_event or (lambda kind, payload: None)
-    tracer = get_tracer()
-    while True:
+
+    post_traces = getattr(client, "post_traces", None)
+    shipper: ShippingTracer | None = None
+    owned_tracer = False
+    if post_traces is not None:
+        current = get_tracer()
+        if isinstance(current, ShippingTracer):
+            shipper = current  # another local worker thread's shipper
+        else:
+            shipper = ShippingTracer(current if current.enabled else None)
+            set_tracer(shipper)
+            owned_tracer = True
+    tracer = shipper if shipper is not None else get_tracer()
+    last_campaign: str | None = None
+
+    def ship(campaign: str | None) -> None:
+        """Best-effort batch shipment; failures requeue, never raise."""
+        if shipper is None or shipper.pending() == 0:
+            return
+        batch = shipper.batch(worker_id, campaign)
+        if not batch["spans"]:
+            return
         try:
-            grant = client.lease(worker_id)
-            connect_failures = 0
-        except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
-            connect_failures += 1
-            if connect_failures >= max_connect_failures:
-                logger.error("worker %s giving up after %d consecutive "
-                             "connect failures: %s", worker_id,
-                             connect_failures, exc)
-                raise
-            logger.warning("worker %s cannot reach scheduler (%s); "
-                           "retry %d/%d", worker_id, exc,
-                           connect_failures, max_connect_failures)
-            notify("lost", {"error": str(exc),
-                            "failures": connect_failures})
-            sleep(poll_interval)
-            tracer.event("worker.idle", poll_interval, reason="lost")
-            continue
-        if grant.get("task") is None:
-            if exit_on_idle and grant.get("done"):
-                logger.info("worker %s: all campaigns done after %d "
-                            "task(s); exiting", worker_id, executed)
-                return executed
-            notify("idle", grant)
-            sleep(poll_interval)
-            tracer.event("worker.idle", poll_interval, reason="no_task")
-            continue
-        campaign = grant.get("campaign")
-        task_id = grant.get("task_id")
-        logger.info("worker %s leased task %s (campaign %s)", worker_id,
-                    task_id, campaign)
-        notify("lease", grant)
-        # heartbeat at a third of the ttl: two missed beats of slack
-        interval = max(0.05, float(grant.get("ttl") or 30.0) / 3.0)
-        heart = _Heartbeat(client, worker_id, campaign, task_id, interval)
-        try:
-            with tracer.span("worker.task", task_id=task_id,
-                             campaign=campaign, worker=worker_id):
-                record = execute_task(grant["task"])
-        finally:
-            heart.stop()
-        try:
-            ack = client.complete(worker_id, campaign, record)
-        except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
-            # the record is lost but the work is not: the lease expires
-            # and another worker recomputes the identical record
-            logger.warning("worker %s could not report task %s (%s); "
-                           "lease will expire and the task will be "
-                           "recomputed", worker_id, task_id, exc)
-            notify("lost", {"error": str(exc), "task_id": task_id})
-            sleep(poll_interval)
-            continue
-        executed += 1
-        _WORKER_TASKS.inc()
-        logger.info("worker %s finished task %s (status %s)", worker_id,
-                    task_id, record.get("status"))
-        notify("record", {"record": record, "ack": ack})
-        if max_tasks is not None and executed >= max_tasks:
-            logger.info("worker %s reached max_tasks=%d; exiting",
-                        worker_id, max_tasks)
-            return executed
+            start = time.perf_counter()
+            post_traces(batch)
+            # lands in the *next* batch: the buffer was just drained
+            tracer.event("worker.ship", time.perf_counter() - start,
+                         spans=len(batch["spans"]))
+        except Exception as exc:
+            shipper.requeue(batch["spans"])
+            logger.debug("worker %s could not ship %d span(s) (%s); "
+                         "requeued", worker_id, len(batch["spans"]), exc)
+
+    # one span over the whole loop: its *self time* is exactly the
+    # otherwise-unattributed glue between tasks (notify hooks, record
+    # serialization, heartbeat teardown), so a cleanly-exiting worker's
+    # trace accounts for ~100% of its wall clock.  A killed worker never
+    # emits it -- the chaos bar (>=95%) tolerates that lost tail.
+    try:
+        with tracer.span("worker.run", worker=worker_id):
+            while True:
+                try:
+                    lease_start = time.perf_counter()
+                    grant = client.lease(worker_id)
+                    tracer.event("worker.lease",
+                                 time.perf_counter() - lease_start)
+                    connect_failures = 0
+                except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
+                    connect_failures += 1
+                    if connect_failures >= max_connect_failures:
+                        logger.error("worker %s giving up after %d consecutive "
+                                     "connect failures: %s", worker_id,
+                                     connect_failures, exc)
+                        raise
+                    logger.warning("worker %s cannot reach scheduler (%s); "
+                                   "retry %d/%d", worker_id, exc,
+                                   connect_failures, max_connect_failures)
+                    notify("lost", {"error": str(exc),
+                                    "failures": connect_failures})
+                    sleep(poll_interval)
+                    tracer.event("worker.idle", poll_interval, reason="lost")
+                    continue
+                if grant.get("task") is None:
+                    if exit_on_idle and grant.get("done"):
+                        logger.info("worker %s: all campaigns done after %d "
+                                    "task(s); exiting", worker_id, executed)
+                        return executed
+                    notify("idle", grant)
+                    sleep(poll_interval)
+                    tracer.event("worker.idle", poll_interval, reason="no_task")
+                    ship(last_campaign)
+                    continue
+                campaign = grant.get("campaign")
+                task_id = grant.get("task_id")
+                last_campaign = campaign or last_campaign
+                context = TraceContext.from_dict(grant.get("trace"))
+                logger.info("worker %s leased task %s (campaign %s)", worker_id,
+                            task_id, campaign)
+                notify("lease", grant)
+                # heartbeat at a third of the ttl: two missed beats of slack
+                interval = max(0.05, float(grant.get("ttl") or 30.0) / 3.0)
+                heart = _Heartbeat(client, worker_id, campaign, task_id,
+                                   interval)
+                try:
+                    span_tags = {"task_id": task_id, "campaign": campaign,
+                                 "worker": worker_id}
+                    if context is not None:
+                        span_tags["trace"] = context.trace_id
+                        if context.parent_span is not None:
+                            span_tags["remote_parent"] = context.parent_span
+                    with tracer.span("worker.task", **span_tags):
+                        record = execute_task(grant["task"])
+                finally:
+                    heart.stop()
+                try:
+                    complete_start = time.perf_counter()
+                    ack = client.complete(worker_id, campaign, record)
+                    tracer.event("worker.complete",
+                                 time.perf_counter() - complete_start,
+                                 task_id=task_id)
+                except (urlerror.URLError, ConnectionError, TimeoutError) as exc:
+                    # the record is lost but the work is not: the lease
+                    # expires and another worker recomputes the identical
+                    # record
+                    logger.warning("worker %s could not report task %s (%s); "
+                                   "lease will expire and the task will be "
+                                   "recomputed", worker_id, task_id, exc)
+                    notify("lost", {"error": str(exc), "task_id": task_id})
+                    sleep(poll_interval)
+                    continue
+                ship(campaign)
+                executed += 1
+                _WORKER_TASKS.inc()
+                logger.info("worker %s finished task %s (status %s)", worker_id,
+                            task_id, record.get("status"))
+                notify("record", {"record": record, "ack": ack})
+                if max_tasks is not None and executed >= max_tasks:
+                    logger.info("worker %s reached max_tasks=%d; exiting",
+                                worker_id, max_tasks)
+                    return executed
+    finally:
+        ship(last_campaign)
+        if owned_tracer:
+            set_tracer(shipper._underlying)

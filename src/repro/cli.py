@@ -888,16 +888,54 @@ def _cmd_submit(args) -> int:
     return 0 if status["failed"] == 0 else 1
 
 
-def _cmd_trace_summary(args) -> int:
-    from .obs import render_summary, summarize
+def _fetch_merged_trace(connect: str, campaign: str) -> str:
+    """``GET /trace?campaign=ID`` from a running ``repro serve``."""
+    from urllib import request as urlrequest
 
-    try:
-        summary = summarize(args.trace)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+    url = (connect.rstrip("/") + "/trace?campaign="
+           + urlrequest.quote(campaign))
+    with urlrequest.urlopen(url, timeout=30.0) as resp:
+        return resp.read().decode()
+
+
+def _cmd_trace_summary(args) -> int:
+    from .obs import (parse_trace_lines, render_summary, summarize,
+                      summarize_spans)
+
+    if args.connect:
+        from urllib.error import HTTPError, URLError
+
+        if not args.campaign:
+            print("--connect requires --campaign ID", file=sys.stderr)
+            return 2
+        try:
+            text = _fetch_merged_trace(args.connect, args.campaign)
+        except HTTPError as exc:
+            detail = ("no trace ingested yet" if exc.code == 404
+                      else str(exc))
+            print(f"server has no trace for campaign "
+                  f"{args.campaign!r}: {detail}", file=sys.stderr)
+            return 1
+        except (URLError, ConnectionError, TimeoutError) as exc:
+            print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+            return 1
+        meta, spans = parse_trace_lines(text.splitlines())
+        summary = summarize_spans(spans, meta)
+        source = f"{args.connect} campaign {args.campaign}"
+    elif args.trace:
+        try:
+            summary = summarize(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        source = args.trace
+    else:
+        print("give a trace.jsonl path or --connect URL --campaign ID",
+              file=sys.stderr)
         return 2
     if summary.num_spans == 0:
-        print(f"no spans in {args.trace}", file=sys.stderr)
+        print(f"no spans in {source}", file=sys.stderr)
         return 1
     if args.json:
         import json
@@ -906,6 +944,39 @@ def _cmd_trace_summary(args) -> int:
     else:
         print(render_summary(summary, max_depth=args.depth), end="")
     return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from .obs import export_chrome_trace
+
+    output = args.output or (args.trace + ".perfetto.json")
+    try:
+        events = export_chrome_trace(args.trace, output)
+    except (OSError, ValueError) as exc:
+        print(f"cannot export trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"{events} event(s) written to {output} "
+          f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .obs import compare_files, parse_tolerance, render_markdown
+
+    try:
+        tolerance = parse_tolerance(args.tolerance)
+    except ValueError as exc:
+        print(f"bad --tolerance: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = compare_files(args.run, args.baseline,
+                               tolerance=tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"cannot compare: {exc}", file=sys.stderr)
+        return 2
+    print(render_markdown(result, show_ok=not args.regressions_only))
+    return 1 if result.regressions else 0
 
 
 def _cmd_metrics(args) -> int:
@@ -1153,12 +1224,54 @@ def build_parser() -> argparse.ArgumentParser:
                                        required=True)
     p_tsum = trace_sub.add_parser(
         "summary", help="hierarchical time breakdown of a trace.jsonl")
-    p_tsum.add_argument("trace", help="trace.jsonl file")
+    p_tsum.add_argument("trace", nargs="?",
+                        help="trace.jsonl file (omit with --connect)")
+    p_tsum.add_argument("--connect", metavar="URL",
+                        help="fetch the merged fleet trace from a "
+                             "running `repro serve` instead of a file")
+    p_tsum.add_argument("--campaign", metavar="ID",
+                        help="campaign id for --connect")
     p_tsum.add_argument("--json", action="store_true",
                         help="machine-readable summary instead of tables")
     p_tsum.add_argument("--depth", type=int, default=6,
                         help="max span-tree depth shown")
     p_tsum.set_defaults(fn=_cmd_trace_summary)
+
+    p_texp = trace_sub.add_parser(
+        "export",
+        help="convert a trace.jsonl to Chrome trace-event JSON "
+             "(Perfetto / chrome://tracing)")
+    p_texp.add_argument("trace", help="trace.jsonl file (local run or "
+                                      "merged fleet trace)")
+    p_texp.add_argument("--perfetto", action="store_true",
+                        help="Chrome trace-event format (the default "
+                             "and only format; flag kept for "
+                             "readability in scripts)")
+    p_texp.add_argument("-o", "--output", metavar="PATH",
+                        help="output path (default: "
+                             "<trace>.perfetto.json)")
+    p_texp.set_defaults(fn=_cmd_trace_export)
+
+    p_benchtool = sub.add_parser(
+        "bench", help="micro-benchmark tooling (perf-regression gate)")
+    bench_sub = p_benchtool.add_subparsers(dest="bench_command",
+                                           required=True)
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="diff a BENCH JSON against a committed baseline; exits "
+             "nonzero on regression")
+    p_bcmp.add_argument("run", help="fresh BENCH JSON (a benchmarks/ "
+                                    "run's CLAPTON_BENCH_JSON output)")
+    p_bcmp.add_argument("--baseline", required=True, metavar="JSON",
+                        help="committed baseline (e.g. benchmarks/"
+                             "bench_results/baseline.json)")
+    p_bcmp.add_argument("--tolerance", default="15%",
+                        help="allowed worsening per metric before the "
+                             "gate fails ('15%%' or '0.15'; "
+                             "default 15%%)")
+    p_bcmp.add_argument("--regressions-only", action="store_true",
+                        help="omit in-tolerance rows from the table")
+    p_bcmp.set_defaults(fn=_cmd_bench_compare)
 
     p_metrics = sub.add_parser(
         "metrics", help="scrape /metrics from a running `repro serve`")

@@ -207,8 +207,14 @@ class CafqaLoss:
             self._logical_plan = CliffordCircuitPlan(self._logical_ansatz)
         conj = self._ham_master.tile(num_genomes)
         if self.packed:
+            import time as _time
+
+            from ..obs.kernel import KERNEL
             from ..stabilizer.tableau import apply_gate_levels_to_table
 
+            tracer = get_tracer()
+            before = KERNEL.snapshot() if tracer.enabled else None
+            t0 = _time.perf_counter() if tracer.enabled else 0.0
             # packed fast path: each rotation slot's angle groups fuse
             # into one unmasked leveled-LUT pass (bit-identical per row)
             for item in self._logical_plan.reverse_leveled_schedule(
@@ -223,6 +229,13 @@ class CafqaLoss:
                                         for b in bound_insts]
                     apply_gate_levels_to_table(conj, entries, qubits,
                                                level_of_row)
+            if before is not None:
+                # one aggregated kernel event per batched plan walk
+                delta = KERNEL.delta(before)
+                tracer.event("kernel.fused_levels",
+                             _time.perf_counter() - t0,
+                             words=delta["words"], rows=delta["rows"],
+                             passes=delta["fused_passes"])
         else:
             for inst, rows in self._logical_plan.reverse_schedule(thetas,
                                                                   num_terms):

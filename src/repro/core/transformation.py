@@ -83,8 +83,15 @@ def transform_table_many(hamiltonian: PauliSum, gammas,
     table = hamiltonian.table
     num_terms = table.num_rows
     if packed:
+        import time as _time
+
+        from ..obs import get_tracer
+        from ..obs.kernel import KERNEL
         from ..stabilizer.tableau import apply_gate_levels_to_table
 
+        tracer = get_tracer()
+        before = KERNEL.snapshot() if tracer.enabled else None
+        t0 = _time.perf_counter() if tracer.enabled else 0.0
         stacked = PackedPauliTable.from_table(table).tile(num_genomes)
         # packed fast path: the level choice becomes a LUT dimension, so
         # each slot is ONE unmasked pass over the stacked words instead
@@ -105,6 +112,14 @@ def transform_table_many(hamiltonian: PauliSum, gammas,
             level_of_row = np.repeat(gammas[:, gene], num_terms)
             apply_gate_levels_to_table(stacked, entries, qubits,
                                        level_of_row)
+        if before is not None:
+            # one aggregated kernel event per transformation (per-slot
+            # events would multiply span counts ~20x for no insight)
+            delta = KERNEL.delta(before)
+            tracer.event("kernel.fused_levels",
+                         _time.perf_counter() - t0,
+                         words=delta["words"], rows=delta["rows"],
+                         passes=delta["fused_passes"])
         return stacked
     genome_of_row = np.repeat(np.arange(num_genomes), num_terms)
     stacked = table.tile(num_genomes)

@@ -15,6 +15,8 @@ counts / strategy names; ``tracer.event(name, seconds)`` adopts
 externally-timed work (process-pool shards, heartbeat round trips,
 idle sleeps) into the current span.  The span vocabulary, bottom up::
 
+    kernel.conjugate_table  one packed conjugation walk  (kernel)
+    kernel.fused_levels     one fused leveled-LUT pass
     loss.evaluate_many      one batched loss call       (loss_eval)
     loss.shard              one executor shard, in-worker timed
     executor.map_shards     the parent's scatter/gather wait
@@ -24,13 +26,33 @@ idle sleeps) into the current span.  The span vocabulary, bottom up::
     task.execute            one campaign task (tags: task_id, method)
     campaign.wave           one runner wave over the executor
     worker.task             one leased task on a service worker
+                            (tags: trace/campaign/task_id/worker)
     worker.heartbeat        one heartbeat round trip
     worker.idle             an idle poll sleep             (idle)
     cli.run / cli.sweep...  the root span for a CLI verb
 
 ``repro trace summary`` (:mod:`repro.obs.summary`) rebuilds the tree
-and buckets per-span *self time* into loss-eval vs orchestration vs
-idle -- for a serial sweep the buckets partition wall-clock exactly.
+and buckets per-span *self time* into loss-eval vs kernel vs
+orchestration vs idle -- for a serial sweep the buckets partition
+wall-clock exactly.
+
+**Distributed tracing** (:mod:`repro.obs.context`).  The campaign
+service correlates the whole fleet into one trace per campaign: the
+scheduler mints a ``trace_id`` and ships a :class:`TraceContext` in
+every lease grant; workers run a :class:`ShippingTracer` that
+batch-POSTs finished spans to the server's ``/traces`` collector; the
+server merges them (worker-namespaced span ids, unix-rebased starts)
+into a single queryable ``trace.jsonl`` per campaign -- ``repro trace
+summary --connect URL`` summarizes it, ``repro trace export
+--perfetto`` (:mod:`repro.obs.export`) converts it to Chrome
+trace-event JSON for flamegraph viewers.
+
+**Kernel profiling** (:mod:`repro.obs.kernel`).  The packed uint64
+conjugation hot path bumps always-on counters (:data:`KERNEL`: words,
+rows, LUT hits/misses, fused passes) that surface as Prometheus
+``repro_kernel_*`` series and as the summary's per-worker word-ops/s
+table.  Process-pool children return snapshots over the cache-stats
+path; the parent folds them in.
 
 **Metrics** (:mod:`repro.obs.metrics`).  A process-wide
 :data:`REGISTRY` of ``Counter`` / ``Gauge`` / ``Histogram`` families,
@@ -38,6 +60,12 @@ registered idempotently at import time by the modules that increment
 them (cache hits, lease lifecycle, task outcomes, heartbeat latency).
 Metrics are cheap and always on; the service renders the registry as
 Prometheus text exposition at ``GET /metrics``.
+
+**Perf-regression gate** (:mod:`repro.obs.bench_compare`).  ``repro
+bench compare run.json --baseline ... --tolerance 15%`` diffs BENCH
+JSON against the committed ``benchmarks/bench_results/`` baselines and
+exits nonzero on regression; CI runs it so the baselines are a guarded
+time series.
 
 Invariants
 ==========
@@ -48,9 +76,32 @@ Invariants
 - No third-party dependencies; stdlib only.
 - Process-pool children fall back to the null tracer; their timings
   are returned to the parent and re-emitted as events, and their cache
-  counters are aggregated explicitly (``EngineResult.cache_stats``).
+  and kernel counters are aggregated explicitly
+  (``EngineResult.cache_stats``, ``KERNEL.add``).
 """
 
+from .bench_compare import (
+    CompareResult,
+    compare,
+    compare_files,
+    flatten_numeric,
+    parse_tolerance,
+    render_markdown,
+)
+from .context import (
+    ShippingTracer,
+    TraceContext,
+    new_trace_id,
+)
+from .export import (
+    export_chrome_trace,
+    to_chrome_trace,
+)
+from .kernel import (
+    KERNEL,
+    KernelCounters,
+    publish_kernel_metrics,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -63,6 +114,7 @@ from .summary import (
     TraceSummary,
     bucket_of,
     load_trace,
+    parse_trace_lines,
     render_summary,
     summarize,
     summarize_spans,
@@ -72,12 +124,28 @@ from .tracer import (
     NullTracer,
     RecordingTracer,
     Span,
+    build_info,
+    current_span_id,
     get_tracer,
     set_tracer,
     use_tracer,
 )
 
 __all__ = [
+    "CompareResult",
+    "compare",
+    "compare_files",
+    "flatten_numeric",
+    "parse_tolerance",
+    "render_markdown",
+    "ShippingTracer",
+    "TraceContext",
+    "new_trace_id",
+    "export_chrome_trace",
+    "to_chrome_trace",
+    "KERNEL",
+    "KernelCounters",
+    "publish_kernel_metrics",
     "Counter",
     "Gauge",
     "Histogram",
@@ -87,6 +155,7 @@ __all__ = [
     "TraceSummary",
     "bucket_of",
     "load_trace",
+    "parse_trace_lines",
     "render_summary",
     "summarize",
     "summarize_spans",
@@ -94,6 +163,8 @@ __all__ = [
     "NullTracer",
     "RecordingTracer",
     "Span",
+    "build_info",
+    "current_span_id",
     "get_tracer",
     "set_tracer",
     "use_tracer",

@@ -1,0 +1,85 @@
+"""Export a trace to Chrome trace-event JSON (Perfetto / chrome://tracing).
+
+``repro trace export --perfetto`` turns a ``trace.jsonl`` -- single-run
+or service-merged -- into the one interchange format every flamegraph
+viewer reads: the Trace Event Format's ``"X"`` (complete) events with
+microsecond timestamps, plus ``"M"`` metadata events naming the lanes.
+
+Lane mapping: each distinct *worker* becomes a process row (merged
+fleet traces stamp a top-level ``"worker"`` field per span; single-run
+traces fall back to the meta header's pid), and each distinct thread
+within a worker becomes a thread row.  Span tags ride along in
+``args`` and the summary bucket (loss_eval / kernel / ...) becomes the
+event category, so the viewer can color by bucket.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .summary import bucket_of, load_trace
+
+
+def to_chrome_trace(meta: dict, spans: list[dict]) -> dict:
+    """Build the ``{"traceEvents": [...]}`` payload from parsed spans."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    default_lane = f"pid {meta.get('pid')}" if meta.get("pid") else "run"
+
+    def pid_of(worker: str) -> int:
+        pid = pids.get(worker)
+        if pid is None:
+            pid = pids[worker] = len(pids) + 1
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": worker}})
+        return pid
+
+    def tid_of(worker: str, thread: str) -> int:
+        key = (worker, thread)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": pid_of(worker), "tid": tid,
+                           "args": {"name": thread}})
+        return tid
+
+    for span in spans:
+        worker = span.get("worker") or default_lane
+        thread = span.get("thread") or "main"
+        event = {
+            "name": span["name"],
+            "cat": bucket_of(span["name"]),
+            "ph": "X",
+            "ts": round(span["start"] * 1e6, 3),
+            "dur": round(span["dur"] * 1e6, 3),
+            "pid": pid_of(worker),
+            "tid": tid_of(worker, thread),
+        }
+        tags = span.get("tags")
+        if tags:
+            event["args"] = tags
+        events.append(event)
+
+    payload: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if meta:
+        payload["otherData"] = {
+            k: meta[k] for k in ("trace_id", "campaign", "git_sha",
+                                 "version", "hostname", "clock")
+            if k in meta}
+    return payload
+
+
+def export_chrome_trace(trace_path: str | Path,
+                        output_path: str | Path) -> int:
+    """Read ``trace.jsonl``, write Chrome trace JSON; returns #events."""
+    meta, spans = load_trace(trace_path)
+    payload = to_chrome_trace(meta, spans)
+    out = Path(output_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, separators=(",", ":")) + "\n",
+                   encoding="utf-8")
+    return len(payload["traceEvents"])

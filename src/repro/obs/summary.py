@@ -8,8 +8,11 @@ the wall-clock go?*
 Every span's **self time** is its duration minus its children's
 durations (clamped at zero: children running concurrently on other
 threads can sum past the parent).  Self times are then classified into
-four buckets by span name:
+five buckets by span name:
 
+- ``kernel``         -- names starting with ``kernel.`` (the packed
+  word-conjugation hot path; these are children of ``loss.`` spans, so
+  this is the physics *inside* the physics)
 - ``loss_eval``      -- names starting with ``loss.`` (the physics)
 - ``mitigation``     -- names starting with ``mitigation.`` (folding,
   extrapolation, readout inversion; the raw evaluations a wrapped
@@ -17,6 +20,12 @@ four buckets by span name:
   mitigation *overhead* only)
 - ``idle``           -- names containing ``idle`` (polling, backoff)
 - ``orchestration``  -- everything else (the tax this repo controls)
+
+``kernel.*`` spans carry ``words``/``rows`` tags from
+:mod:`repro.obs.kernel`; the summary aggregates them per worker (merged
+fleet traces stamp a top-level ``"worker"`` on every span) into
+word-ops/s throughput -- the paper's headline unit for the stabilizer
+hot path.
 
 For a serial run rooted in one CLI span the buckets partition the
 wall-clock exactly; the acceptance bar is >=95% accounted.
@@ -30,6 +39,8 @@ from pathlib import Path
 
 
 def bucket_of(name: str) -> str:
+    if name.startswith("kernel."):
+        return "kernel"
     if name.startswith("loss."):
         return "loss_eval"
     if name.startswith("mitigation."):
@@ -39,24 +50,33 @@ def bucket_of(name: str) -> str:
     return "orchestration"
 
 
-def load_trace(path: str | Path) -> tuple[dict, list[dict]]:
-    """Parse a trace file -> (meta, spans); tolerates a torn last line."""
+def parse_trace_lines(lines) -> tuple[dict, list[dict]]:
+    """Parse trace JSONL lines -> (meta, spans); skips torn/blank lines.
+
+    Shared by :func:`load_trace` and the ``--connect`` path (which gets
+    the merged campaign trace as NDJSON text from ``GET /trace``).
+    """
     meta: dict = {}
     spans: list[dict] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail from a killed process
-            if record.get("kind") == "meta":
-                meta = record
-            elif record.get("kind") == "span":
-                spans.append(record)
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail from a killed process
+        if record.get("kind") == "meta":
+            meta = record
+        elif record.get("kind") == "span":
+            spans.append(record)
     return meta, spans
+
+
+def load_trace(path: str | Path) -> tuple[dict, list[dict]]:
+    """Parse a trace file -> (meta, spans); tolerates a torn last line."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return parse_trace_lines(fh)
 
 
 @dataclass
@@ -85,6 +105,9 @@ class TraceSummary:
     buckets: dict[str, float]
     roots: list[SummaryRow]
     meta: dict = field(default_factory=dict)
+    #: per-worker packed-kernel totals: {worker: {"words", "rows",
+    #: "seconds"}} aggregated from ``kernel.*`` span tags
+    kernel: dict = field(default_factory=dict)
 
     @property
     def accounted(self) -> float:
@@ -104,13 +127,22 @@ class TraceSummary:
                     "total_seconds": round(r.total, 6),
                     "self_seconds": round(r.self_seconds, 6),
                     "children": [row(c) for c in r.children]}
-        return {
+        out = {
             "wall_seconds": round(self.wall_seconds, 6),
             "num_spans": self.num_spans,
             "buckets": {k: round(v, 6) for k, v in self.buckets.items()},
             "coverage": round(self.coverage, 4),
             "tree": [row(r) for r in self.roots],
         }
+        if self.kernel:
+            out["kernel"] = {
+                worker: {"words": stats["words"], "rows": stats["rows"],
+                         "seconds": round(stats["seconds"], 6),
+                         "words_per_second": round(
+                             stats["words"] / stats["seconds"], 1)
+                         if stats["seconds"] > 0 else None}
+                for worker, stats in self.kernel.items()}
+        return out
 
 
 def summarize_spans(spans: list[dict], meta: dict | None = None) -> TraceSummary:
@@ -138,14 +170,24 @@ def summarize_spans(spans: list[dict], meta: dict | None = None) -> TraceSummary
         return result
 
     nodes: dict[tuple[str, ...], SummaryRow] = {}
-    buckets = {"loss_eval": 0.0, "mitigation": 0.0,
+    buckets = {"loss_eval": 0.0, "kernel": 0.0, "mitigation": 0.0,
                "orchestration": 0.0, "idle": 0.0}
+    kernel: dict[str, dict] = {}
     starts, ends = [], []
     for span in spans:
         starts.append(span["start"])
         ends.append(span["start"] + span["dur"])
         self_seconds = max(0.0, span["dur"] - children_dur.get(span["id"], 0.0))
-        buckets[bucket_of(span["name"])] += self_seconds
+        bucket = bucket_of(span["name"])
+        buckets[bucket] += self_seconds
+        if bucket == "kernel":
+            tags = span.get("tags") or {}
+            worker = span.get("worker") or "local"
+            stats = kernel.setdefault(
+                worker, {"words": 0, "rows": 0, "seconds": 0.0})
+            stats["words"] += int(tags.get("words") or 0)
+            stats["rows"] += int(tags.get("rows") or 0)
+            stats["seconds"] += span["dur"]
         path = path_of(span)
         node = nodes.get(path)
         if node is None:
@@ -167,12 +209,21 @@ def summarize_spans(spans: list[dict], meta: dict | None = None) -> TraceSummary
 
     wall = (max(ends) - min(starts)) if spans else 0.0
     return TraceSummary(wall_seconds=wall, num_spans=len(spans),
-                        buckets=buckets, roots=roots, meta=meta or {})
+                        buckets=buckets, roots=roots, meta=meta or {},
+                        kernel=kernel)
 
 
 def summarize(path: str | Path) -> TraceSummary:
     meta, spans = load_trace(path)
     return summarize_spans(spans, meta)
+
+
+def _fmt_count(value: float) -> str:
+    """Humanized counts for the kernel table (1.3M, 42.0k, 917)."""
+    for divisor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= divisor:
+            return f"{value / divisor:.1f}{suffix}"
+    return f"{value:.0f}"
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -192,6 +243,7 @@ def render_summary(summary: TraceSummary, max_depth: int = 6) -> str:
     lines.append("")
     lines.append("bucket           seconds      share")
     order = [("loss evaluation", "loss_eval"),
+             ("kernel", "kernel"),
              ("mitigation", "mitigation"),
              ("orchestration", "orchestration"),
              ("idle", "idle")]
@@ -201,6 +253,17 @@ def render_summary(summary: TraceSummary, max_depth: int = 6) -> str:
         lines.append(f"{label:<16} {_fmt_seconds(seconds):>8}    {share:6.1f}%")
     lines.append(f"{'accounted':<16} {_fmt_seconds(summary.accounted):>8}"
                  f"    {summary.coverage * 100.0:6.1f}%")
+    if summary.kernel:
+        lines.append("")
+        lines.append("kernel (packed conjugation)")
+        lines.append(f"{'worker':<28} {'words':>12} {'rows':>12} "
+                     f"{'words/s':>12}")
+        for worker in sorted(summary.kernel):
+            stats = summary.kernel[worker]
+            rate = (_fmt_count(stats["words"] / stats["seconds"])
+                    if stats["seconds"] > 0 else "--")
+            lines.append(f"{worker:<28} {_fmt_count(stats['words']):>12} "
+                         f"{_fmt_count(stats['rows']):>12} {rate:>12}")
     lines.append("")
     lines.append(f"{'span':<46} {'count':>6} {'total':>9} {'self':>9} "
                  f"{'%wall':>6}")

@@ -28,14 +28,49 @@ bit-identical to untraced runs.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
+import functools
 import itertools
 import json
 import numbers
 import os
+import socket
+import subprocess
 import threading
 import time
 from pathlib import Path
+
+
+@functools.lru_cache(maxsize=1)
+def build_info() -> dict:
+    """Build provenance stamped into trace meta headers.
+
+    Merged fleet traces need to be attributable to a build: git SHA
+    (``REPRO_GIT_SHA`` env wins -- CI containers without a checkout --
+    else a quick ``git rev-parse``), package version, and hostname.
+    Every lookup failure degrades to ``None`` rather than raising;
+    cached because ``git rev-parse`` costs a subprocess.
+    """
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if not sha:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                capture_output=True, text=True, timeout=5.0,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            sha = None
+    try:
+        from .. import __version__ as version
+    except Exception:  # pragma: no cover - package half-imported
+        version = None
+    try:
+        hostname = socket.gethostname()
+    except OSError:  # pragma: no cover
+        hostname = None
+    return {"git_sha": sha, "version": version, "hostname": hostname}
 
 
 class _NullSpan:
@@ -212,7 +247,11 @@ class JsonlTracer(_RecordingBase):
         self._fh.write(json.dumps({
             "kind": "meta", "version": 1, "clock": "perf_counter",
             "unix_time": time.time(), "pid": os.getpid(),
+            **build_info(),
         }) + "\n")
+        # short-lived workers can die between flushes; an interpreter
+        # that *does* exit cleanly should not drop the buffered tail
+        atexit.register(self.close)
 
     def _emit(self, record: dict) -> None:
         line = json.dumps(record, separators=(",", ":")) + "\n"
@@ -221,10 +260,16 @@ class JsonlTracer(_RecordingBase):
                 self._fh.write(line)
 
     def close(self) -> None:
+        """Flush and close; idempotent (atexit may race an explicit
+        close, and ``use_tracer`` closes on every exit)."""
         with self._lock:
             if not self._fh.closed:
                 self._fh.flush()
                 self._fh.close()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
 
 _NULL = NullTracer()
@@ -235,6 +280,19 @@ _current_lock = threading.Lock()
 def get_tracer():
     """The process's current tracer (the shared no-op by default)."""
     return _current
+
+
+def current_span_id():
+    """Id of the innermost open span on this thread, or ``None``.
+
+    Trace-context propagation (``repro.obs.context``) records this as
+    the remote child's parent hint; the null tracer has no spans.
+    """
+    tracer = _current
+    if not getattr(tracer, "enabled", False):
+        return None
+    stack = tracer._stack()
+    return stack[-1].span_id if stack else None
 
 
 def set_tracer(tracer) -> "NullTracer | _RecordingBase":

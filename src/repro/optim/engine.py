@@ -47,6 +47,7 @@ from ..execution.executor import (
     spawn_seeds,
 )
 from ..obs import get_tracer
+from ..obs.kernel import KERNEL
 from .genetic import GAConfig, GeneticAlgorithm
 
 
@@ -136,7 +137,7 @@ class EngineResult:
 
 def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
                                     float, np.ndarray, int,
-                                    dict[bytes, float], int, int]:
+                                    dict[bytes, float], int, int, dict]:
     """Worker: one GA instance of one round (top-level for pickling).
 
     ``job`` is ``(loss_fn, genome_length, num_values, ga_config,
@@ -146,14 +147,18 @@ def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
     the live memo table (serial) or a round-start snapshot (parallel);
     with ``collect_new`` set, entries discovered by this instance are
     returned for the parent to merge.  The trailing ``(cache_hits,
-    cache_dedups)`` carry the instance's memo accounting back explicitly --
-    counters mutated inside a child process would otherwise be lost.
+    cache_dedups, kernel_delta)`` carry the instance's memo accounting
+    and packed-kernel counter advance back explicitly -- counters
+    mutated inside a child process would otherwise be lost (the parent
+    folds ``kernel_delta`` into its own ``KERNEL`` singleton only for
+    out-of-process executors; in-process instances already bumped it).
     """
     (loss_fn, genome_length, num_values, ga_config, rng_or_seed,
      population, top_k, cache, collect_new) = job
     rng = (rng_or_seed if isinstance(rng_or_seed, np.random.Generator)
            else np.random.default_rng(rng_or_seed))
     known = set(cache) if collect_new else ()
+    kernel_before = KERNEL.snapshot()
     ga = GeneticAlgorithm(loss_fn, genome_length, num_values,
                           config=ga_config, rng=rng, cache=cache)
     result = ga.run(initial_population=population)
@@ -163,7 +168,8 @@ def _run_one_instance(job) -> tuple[list[tuple[float, np.ndarray]],
                    if collect_new else {})
     return (top, result.best_loss, result.best_genome.copy(),
             result.num_evaluations, new_entries,
-            result.cache_hits, result.cache_dedups)
+            result.cache_hits, result.cache_dedups,
+            KERNEL.delta(kernel_before))
 
 
 def _evaluate_shard(job) -> np.ndarray:
@@ -175,16 +181,20 @@ def _evaluate_shard(job) -> np.ndarray:
     return np.array([float(loss_fn(g)) for g in genomes])
 
 
-def _evaluate_shard_timed(job) -> tuple[np.ndarray, float]:
-    """Worker: one shard plus its in-worker wall time.
+def _evaluate_shard_timed(job) -> tuple[np.ndarray, float, dict]:
+    """Worker: one shard plus its in-worker wall time and kernel delta.
 
     Process-pool children fall back to the null tracer, so per-shard
-    durations are measured here and *returned*; the parent re-emits them
-    as ``loss.shard`` events under its ``executor.map_shards`` span.
+    durations and packed-kernel counter advances are measured here and
+    *returned*; the parent re-emits them as ``loss.shard`` events under
+    its ``executor.map_shards`` span and folds the kernel delta into
+    its own ``KERNEL`` singleton.
     """
+    kernel_before = KERNEL.snapshot()
     start = time.perf_counter()
     values = _evaluate_shard(job)
-    return values, time.perf_counter() - start
+    return (values, time.perf_counter() - start,
+            KERNEL.delta(kernel_before))
 
 
 class _ShardedBatchLoss:
@@ -223,9 +233,11 @@ class _ShardedBatchLoss:
         with tracer.span("executor.map_shards", shards=num_shards,
                          batch=len(genomes)):
             timed = self.executor.map(_evaluate_shard_timed, jobs)
-            for (_, seconds), shard in zip(timed, shards):
-                tracer.event("loss.shard", seconds, batch=len(shard))
-        return np.concatenate([values for values, _ in timed])
+            for (_, seconds, kernel_delta), shard in zip(timed, shards):
+                KERNEL.add(kernel_delta)
+                tracer.event("loss.shard", seconds, batch=len(shard),
+                             kernel_words=kernel_delta.get("words", 0))
+        return np.concatenate([values for values, _, _ in timed])
 
 
 def multi_ga_minimize(loss_fn: Callable[[np.ndarray], float],
@@ -330,12 +342,19 @@ def _minimize_rounds(loss_fn, genome_length: int, num_values: int,
 
             round_evals = 0
             pool: list[tuple[float, np.ndarray]] = []
+            # in-process instances bumped the parent's KERNEL directly;
+            # only out-of-process deltas need folding in
+            fold_kernel = not getattr(instance_executor, "in_process",
+                                      True)
             for (top, instance_best, instance_genome, evals, entries,
-                 instance_hits, instance_dedups) in outcomes:
+                 instance_hits, instance_dedups,
+                 instance_kernel) in outcomes:
                 memo.merge(entries)
                 round_evals += evals
                 cache_hits += instance_hits
                 cache_dedups += instance_dedups
+                if fold_kernel:
+                    KERNEL.add(instance_kernel)
                 pool.extend(top)
                 if instance_best < best_loss - 1e-12:
                     best_loss = instance_best

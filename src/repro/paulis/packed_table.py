@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from . import bitops
+from ..obs.kernel import KERNEL
 from .pauli import PauliString
 from .table import PauliTable
 
@@ -229,6 +230,11 @@ class PackedPauliTable:
                                  int(other.phase_exp[i]))
 
     def _mul_packed_on_rows(self, mask, other_x, other_z, other_q) -> None:
+        # profile counters: rows scanned (full mask traversal) and word
+        # columns touched -- shape ints only, no extra numpy passes
+        # (counting the masked subset would cost a reduction per call)
+        KERNEL.rows += self.x.shape[0]
+        KERNEL.words += self.x.shape[0] * self.x.shape[1]
         extra = bitops.popcount_rows(self.x[mask] & other_z[None, :])
         self.phase_exp[mask] = (self.phase_exp[mask] + other_q + 2 * extra) % 4
         self.x[mask] ^= other_x[None, :]

@@ -14,12 +14,15 @@ with the simulators.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from ..obs import get_tracer
+from ..obs.kernel import KERNEL
 from ..paulis import bitops
 from ..circuits.circuit import Circuit
 from ..circuits.gates import get_gate
@@ -149,12 +152,20 @@ class CliffordTableau:
             if self._packed_rows is None:
                 self._packed_rows = PackedPauliTable.from_table(self.rows)
             generators = self._packed_rows
+            tracer = get_tracer()
+            before = KERNEL.snapshot() if tracer.enabled else None
+            t0 = time.perf_counter() if tracer.enabled else 0.0
             acc = PackedPauliTable.identity(table.num_rows, n)
             acc.phase_exp = table.phase_exp.copy()
             for k in range(n):
                 acc.mul_table_row_on_rows(table.z_column(k), generators, n + k)
             for k in range(n):
                 acc.mul_table_row_on_rows(table.x_column(k), generators, k)
+            if before is not None:
+                delta = KERNEL.delta(before)
+                tracer.event("kernel.conjugate_table",
+                             time.perf_counter() - t0,
+                             words=delta["words"], rows=delta["rows"])
             return acc
         acc = PauliTable.identity(table.num_rows, n)
         acc.phase_exp = table.phase_exp.copy()
@@ -224,8 +235,10 @@ def _conjugation_lut(gate: CliffordTableau
     key = _gate_lut_key(gate)
     cached = _LUT_CACHE.get(key)
     if cached is not None:
+        KERNEL.lut_hits += 1
         _LUT_CACHE.move_to_end(key)
         return cached
+    KERNEL.lut_misses += 1
     k = gate.num_qubits
     size = 4 ** k
     out_x = np.zeros((size, k), dtype=bool)
@@ -335,13 +348,17 @@ def _apply_gate_packed(table: PackedPauliTable, gate: CliffordTableau,
     """
     k = gate.num_qubits
     idx = None
+    rows_touched = table.num_rows
     if rows is not None:
         idx = np.flatnonzero(rows)
         if idx.size == 0:
             return
+        rows_touched = int(idx.size)
+    KERNEL.rows += rows_touched
     if k > 2:
         # generic fall-back: extract the sub-bits, run the boolean-path
         # row multiplications, deposit the image bits back
+        KERNEL.words += rows_touched * table.num_words
         sel = slice(None) if idx is None else idx
         subx = np.column_stack([bitops.get_bit_i64(table.x, q, sel)
                                 for q in qubits]).astype(bool)
@@ -396,6 +413,7 @@ def _apply_gate_packed(table: PackedPauliTable, gate: CliffordTableau,
         word_luts[word] = (clear | (one << shift),
                            lx if ax is None else ax | lx,
                            lz if az is None else az | lz)
+    KERNEL.words += len(word_luts) * rows_touched
     for word, (clear, ax, az) in word_luts.items():
         cx = ax[codes]
         cz = az[codes]
@@ -447,8 +465,10 @@ def _leveled_lut(entries, k: int
     key = (k, tuple(key_parts))
     cached = _LEVELED_LUT_CACHE.get(key)
     if cached is not None:
+        KERNEL.lut_hits += 1
         _LEVELED_LUT_CACHE.move_to_end(key)
         return cached
+    KERNEL.lut_misses += 1
     codes = np.arange(size)
     xs, zs, dqs = [], [], []
     for entry in entries:
@@ -504,6 +524,8 @@ def apply_gate_levels_to_table(table: PackedPauliTable, entries,
     """
     k = len(columns)
     lut_x, lut_z, lut_dq = _leveled_lut(entries, k)
+    KERNEL.fused_passes += 1
+    KERNEL.rows += table.num_rows
     one = np.uint64(1)
     placements = [divmod(q, bitops.WORD_BITS) for q in columns]
     words: dict[int, tuple] = {}
@@ -532,6 +554,7 @@ def apply_gate_levels_to_table(table: PackedPauliTable, entries,
         word_luts[word] = (clear | (one << shift),
                            lx if ax is None else ax | lx,
                            lz if az is None else az | lz)
+    KERNEL.words += len(word_luts) * table.num_rows
     for word, (clear, ax, az) in word_luts.items():
         colx, colz = words[word][:2]
         colx &= ~clear

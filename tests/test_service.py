@@ -71,6 +71,23 @@ def canonical_records(store: ResultStore) -> dict:
     return {r["task_id"]: strip_volatile(r) for r in records}
 
 
+def trace_interval_coverage(spans: list) -> float:
+    """Fraction of [first start, last end] covered by the span union."""
+    intervals = sorted((s["start"], s["start"] + s["dur"]) for s in spans)
+    wall = max(b for _, b in intervals) - intervals[0][0]
+    if wall <= 0:
+        return 1.0
+    covered, (cur_a, cur_b) = 0.0, intervals[0]
+    for a, b in intervals[1:]:
+        if a > cur_b:
+            covered += cur_b - cur_a
+            cur_a, cur_b = a, b
+        else:
+            cur_b = max(cur_b, b)
+    covered += cur_b - cur_a
+    return covered / wall
+
+
 def serial_reference(tmp_path: Path, spec: CampaignSpec) -> dict:
     store = ResultStore.create(tmp_path / "serial-ref", spec)
     CampaignRunner(spec, store).run()
@@ -507,6 +524,29 @@ class TestWorkerCrashChaos:
                 record = scheduler.store.record(tid)
                 assert record["status"] == "done"
                 assert record["worker_id"] == "survivor"
+
+            # ONE merged fleet trace survives the SIGKILL: the victim
+            # loses only its unshipped tail, the survivor's worker.run
+            # root keeps inter-task glue on the books, and every
+            # worker.task span carries the full correlation tuple
+            from repro.obs import parse_trace_lines
+
+            meta, spans = parse_trace_lines(
+                campaign.trace_text().splitlines())
+            assert meta["merged"] and meta["trace_id"] == \
+                campaign.trace_id
+            tasks = [s for s in spans if s["name"] == "worker.task"]
+            done = {s["tags"]["task_id"] for s in tasks
+                    if s["tags"]["worker"] == "survivor"}
+            assert set(orphaned) <= done
+            for span in tasks:
+                tags = span["tags"]
+                assert tags["campaign"] == campaign.id
+                assert tags["trace"] == campaign.trace_id
+                assert tags["task_id"] and tags["worker"]
+                assert str(span["id"]).split(":", 1)[0] == \
+                    tags["worker"]
+            assert trace_interval_coverage(spans) >= 0.95
         finally:
             for proc in (victim, survivor):
                 if proc is not None and proc.poll() is None:
